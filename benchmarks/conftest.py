@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures via the
+generators in :mod:`repro.experiments` and prints the resulting rows/series so
+that ``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+report.  pytest-benchmark additionally records how long each regeneration
+takes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import Table, format_aligned
+
+
+def report(table: Table) -> Table:
+    """Print a generated table beneath the benchmark output and pass it through."""
+    print()
+    print(format_aligned(table))
+    return table
+
+
+@pytest.fixture
+def print_table():
+    return report

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 1 — the voltage -> physics -> mission chain (DJI Tello)."""
+
+from repro.experiments.fig1 import generate_fig1_voltage_physics
+
+
+def test_bench_fig1_voltage_physics(benchmark, print_table):
+    table = benchmark(generate_fig1_voltage_physics)
+    print_table(table)
+    rows = {row["supply_voltage_v"]: row for row in table.rows}
+    assert rows[0.5]["flight_energy_kj"] < rows[1.5]["flight_energy_kj"]
+    assert rows[0.5]["num_missions"] > rows[1.5]["num_missions"]

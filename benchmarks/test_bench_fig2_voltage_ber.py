@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 2 — SRAM bit-error rate and access energy vs voltage."""
+
+from repro.experiments.fig2 import generate_fig2_voltage_ber_energy
+
+
+def test_bench_fig2_voltage_ber(benchmark, print_table):
+    table = benchmark(generate_fig2_voltage_ber_energy)
+    print_table(table)
+    bers = table.column("ber_percent")
+    energies = table.column("sram_access_energy_nj")
+    assert all(a >= b for a, b in zip(bers, bers[1:]))
+    assert all(a <= b for a, b in zip(energies, energies[1:]))
+    # The error rate spans many orders of magnitude across the sweep (Fig. 2's log axis).
+    assert max(bers) / min(b for b in bers if b > 0) > 1e4

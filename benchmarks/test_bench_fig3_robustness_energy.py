@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 3 — success rate and flight energy vs bit-error rate."""
+
+from repro.experiments.fig3 import generate_fig3_robustness_vs_ber
+
+
+def test_bench_fig3_robustness_energy(benchmark, print_table):
+    table = benchmark(generate_fig3_robustness_vs_ber)
+    print_table(table)
+    for row in table.rows:
+        assert row["berry_success_pct"] >= row["classical_success_pct"]
+    # At high error rates the gap is dramatic (the figure's headline).
+    worst = table.rows[-1]
+    assert worst["berry_success_pct"] - worst["classical_success_pct"] > 25.0

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 5 — effectiveness across obstacle-density environments."""
+
+from repro.experiments.fig5 import generate_fig5_environments
+
+
+def test_bench_fig5_environments(benchmark, print_table):
+    table = benchmark(generate_fig5_environments)
+    print_table(table)
+    berry = {row["environment"]: row for row in table.rows if row["scheme"] == "berry"}
+    classical = {row["environment"]: row for row in table.rows if row["scheme"] == "classical"}
+    for environment in berry:
+        assert berry[environment]["success_at_p0.1_pct"] > classical[environment]["success_at_p0.1_pct"]
+        assert berry[environment]["flight_energy_change_pct"] < 0.0
+        assert berry[environment]["missions_change_pct"] > 0.0
+    # Mission energy grows with environment difficulty (38 J / 53 J / 77 J shape at 1 V).
+    assert (
+        berry["sparse"]["flight_energy_j"]
+        < berry["medium"]["flight_energy_j"]
+        < berry["dense"]["flight_energy_j"]
+    )

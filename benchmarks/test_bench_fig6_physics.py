@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 6 — heatsink weight, acceleration and safe velocity relations."""
+
+import pytest
+
+from repro.experiments.fig6 import generate_fig6_physics_relations
+
+
+def test_bench_fig6_physics(benchmark, print_table):
+    table = benchmark(generate_fig6_physics_relations)
+    print_table(table)
+    rows = sorted(table.rows, key=lambda row: row["voltage_vmin"])
+    low, high = rows[0], rows[-1]
+    assert low["heatsink_weight_g"] < high["heatsink_weight_g"]
+    assert low["acceleration_m_s2"] > high["acceleration_m_s2"]
+    assert low["max_velocity_m_s"] > high["max_velocity_m_s"]
+    # Spot-check the published Fig. 6 endpoints (1.28 Vmin -> 3.26 g, 0.79 Vmin -> 1.22 g).
+    by_voltage = {round(row["voltage_vmin"], 2): row for row in table.rows}
+    if 1.25 in by_voltage:
+        assert by_voltage[1.25]["heatsink_weight_g"] == pytest.approx(3.1, rel=0.1)

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Fig. 7 — effectiveness across UAV platforms and policy models."""
+
+import pytest
+
+from repro.experiments.fig7 import (
+    generate_fig7_platforms_models,
+    generate_fig7_tello_voltage_sweep,
+)
+
+
+def test_bench_fig7_platforms_models(benchmark, print_table):
+    table = benchmark(generate_fig7_platforms_models)
+    print_table(table)
+    rows = {(row["uav"], row["policy"]): row for row in table.rows}
+    assert rows[("crazyflie", "C3F2")]["compute_power_pct"] == pytest.approx(6.5, abs=0.7)
+    assert rows[("dji-tello", "C3F2")]["compute_power_pct"] == pytest.approx(2.8, abs=0.5)
+    # Higher compute-power ratio -> larger mission-level benefit (the figure's takeaway).
+    assert (
+        rows[("crazyflie", "C3F2")]["flight_energy_reduction_pct"]
+        > rows[("dji-tello", "C5F4")]["flight_energy_reduction_pct"]
+        > rows[("dji-tello", "C3F2")]["flight_energy_reduction_pct"]
+    )
+
+
+def test_bench_fig7_tello_voltage_sweep(benchmark, print_table):
+    table = benchmark(generate_fig7_tello_voltage_sweep)
+    print_table(table)
+    for row in table.rows:
+        assert row["berry_success_pct"] >= row["classical_success_pct"]

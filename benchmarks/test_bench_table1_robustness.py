@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Table I — success rate under bit errors, Classical vs BERRY.
+
+The default run regenerates the paper-scale table from the calibrated curves.
+Setting the environment variable ``BERRY_BENCH_TRAINED=1`` additionally trains
+reduced-scale policies and measures their robustness under injected bit errors
+(tens of seconds), demonstrating the same ordering end-to-end.
+"""
+
+import os
+
+from repro.experiments.table1 import generate_table1_robustness, measure_table1_with_training
+
+
+def test_bench_table1_robustness(benchmark, print_table):
+    table = benchmark(generate_table1_robustness)
+    print_table(table)
+    classical, berry = table.rows
+    assert berry["p=1%"] > classical["p=1%"] + 30.0
+    assert abs(berry["error_free_pct"] - classical["error_free_pct"]) < 2.0
+
+
+def test_bench_table1_measured_with_training(benchmark, print_table):
+    if os.environ.get("BERRY_BENCH_TRAINED") != "1":
+        import pytest
+
+        pytest.skip("set BERRY_BENCH_TRAINED=1 to run the trained-policy variant")
+    table = benchmark.pedantic(
+        measure_table1_with_training, kwargs={"ber_levels": (1.0,)}, iterations=1, rounds=1
+    )
+    print_table(table)
+    classical = next(row for row in table.rows if row["scheme"] == "classical")
+    berry = next(row for row in table.rows if row["scheme"] == "berry")
+    assert berry["p=1%"] >= classical["p=1%"]

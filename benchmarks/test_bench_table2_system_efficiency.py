@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table II — operating and system efficiency vs supply voltage."""
+
+from repro.experiments.table2 import generate_table2_system_efficiency
+
+
+def test_bench_table2_system_efficiency(benchmark, print_table):
+    table = benchmark(generate_table2_system_efficiency)
+    print_table(table)
+    rows = {row["voltage_vmin"]: row for row in table.rows}
+    headline = rows[0.77]
+    assert headline["energy_savings_x"] > 3.3
+    assert headline["flight_energy_change_pct"] < -10.0
+    assert headline["missions_change_pct"] > 10.0
+    # The sweet spot exists: savings reverse by 0.64 Vmin (robustness collapse).
+    assert rows[0.64]["flight_energy_change_pct"] > 0.0
+    assert rows[0.64]["missions_change_pct"] < 0.0

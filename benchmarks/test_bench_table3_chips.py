@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table III — generalisation to profiled chips."""
+
+from repro.experiments.table3 import generate_table3_profiled_chips
+
+
+def test_bench_table3_profiled_chips(benchmark, print_table):
+    table = benchmark(generate_table3_profiled_chips)
+    print_table(table)
+    baseline = table.rows[0]
+    chip_rows = table.rows[1:]
+    assert len(chip_rows) == 4
+    for row in chip_rows:
+        assert 70.0 < row["success_rate_pct"] < baseline["success_rate_pct"]
+    # Within each chip, the higher error rate costs success rate and flight energy.
+    for chip in {row["chip"] for row in chip_rows}:
+        rows = sorted((r for r in chip_rows if r["chip"] == chip), key=lambda r: r["ber_percent"])
+        assert rows[0]["success_rate_pct"] > rows[1]["success_rate_pct"]
+        assert rows[0]["flight_energy_j"] < rows[1]["flight_energy_j"]

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table IV — on-device error-aware robust learning."""
+
+from repro.experiments.table4 import generate_table4_on_device
+
+
+def test_bench_table4_on_device(benchmark, print_table):
+    table = benchmark(generate_table4_on_device)
+    print_table(table)
+    rows = {(row["mode"], row["learning_steps"], row["voltage_vmin"]): row for row in table.rows}
+    on_device_6k = rows[("on-device BERRY", 6000, 0.70)]
+    on_device_4k = rows[("on-device BERRY", 4000, 0.70)]
+    offline = rows[("offline BERRY", 0, 0.70)]
+    # On-device learning at the chip's own fault pattern recovers the robustness
+    # that offline BERRY loses at 0.70 Vmin, at the cost of learning energy.
+    assert on_device_6k["success_rate_pct"] > offline["success_rate_pct"] + 5.0
+    assert on_device_6k["success_rate_pct"] >= on_device_4k["success_rate_pct"]
+    assert on_device_6k["learning_energy_j"] > on_device_4k["learning_energy_j"]
+    assert on_device_6k["flight_energy_j"] < offline["flight_energy_j"]
+    assert on_device_6k["energy_savings_x"] > 4.0

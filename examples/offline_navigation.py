@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Offline BERRY training on the navigation task (reduced scale).
+
+Trains a classical DQN policy and a BERRY error-aware policy on the same
+navigation environment, then deploys both on a simulated low-voltage
+accelerator: the policy parameters are quantized to 8 bits and corrupted by
+persistent fault maps at several bit-error rates.  The printed table is the
+reduced-scale analogue of the paper's Table I.
+
+Run with (takes roughly half a minute)::
+
+    python examples/offline_navigation.py
+"""
+
+import time
+
+from repro.envs.navigation import NavigationEnv
+from repro.experiments.profiles import FAST_PROFILE
+from repro.core.modes import train_classical, train_offline_berry
+from repro.rl.evaluation import evaluate_policy, evaluate_under_faults
+from repro.utils.rng import spawn_generators
+from repro.utils.tables import Table, format_aligned
+
+EVAL_BER_PERCENT = (0.3, 1.0, 3.0)
+
+
+def main() -> None:
+    profile = FAST_PROFILE
+    env_rng, classical_rng, berry_rng = spawn_generators(0, 3)
+    env = NavigationEnv(profile.navigation, rng=env_rng)
+    print(f"environment: {env!r}")
+
+    start = time.time()
+    print(f"training classical DQN for {profile.training_episodes} episodes ...")
+    classical = train_classical(
+        env, profile.training_episodes, policy_spec=profile.policy_spec,
+        config=profile.dqn, rng=classical_rng,
+    )
+    print(f"training BERRY (p = 1 % injection) for {profile.training_episodes} episodes ...")
+    berry = train_offline_berry(
+        env, profile.training_episodes, ber_percent=1.0, policy_spec=profile.policy_spec,
+        config=profile.dqn, rng=berry_rng,
+    )
+    print(f"training finished in {time.time() - start:.1f} s")
+
+    table = Table(
+        title="Success rate under injected bit errors (reduced-scale Table I)",
+        columns=["scheme", "error_free_pct"] + [f"p={p:g}%" for p in EVAL_BER_PERCENT],
+    )
+    for name, trainer in (("classical", classical), ("berry", berry)):
+        error_free = evaluate_policy(env, trainer.q_network, profile.eval_episodes, rng=11)
+        row = {"scheme": name, "error_free_pct": 100.0 * error_free.success_rate}
+        for ber in EVAL_BER_PERCENT:
+            point = evaluate_under_faults(
+                env, trainer.q_network, ber_percent=ber,
+                num_fault_maps=profile.num_fault_maps,
+                episodes_per_map=profile.episodes_per_map, rng=13,
+            )
+            row[f"p={ber:g}%"] = 100.0 * point.success_rate
+        table.add_row(**row)
+
+    print()
+    print(format_aligned(table))
+
+
+if __name__ == "__main__":
+    main()

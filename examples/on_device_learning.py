@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""On-device error-aware robust learning on a profiled low-voltage chip.
+
+The UAV fine-tunes its policy directly on the chip it flies with, so the bit
+errors seen during learning are the chip's actual persistent fault map.  This
+example runs a reduced-scale on-device session (Table IV's protocol): it
+warm-starts from an offline-trained policy, fine-tunes at a low operating
+voltage on a profiled chip, accounts for the learning energy with the
+accelerator cost model, and compares robustness before and after.
+
+Run with (takes roughly half a minute)::
+
+    python examples/on_device_learning.py
+"""
+
+from dataclasses import replace
+
+from repro.core.modes import OnDeviceSession, train_offline_berry
+from repro.envs.navigation import NavigationEnv
+from repro.experiments.profiles import FAST_PROFILE
+from repro.faults.chips import CHIP_RANDOM
+from repro.hardware.accelerator import AcceleratorModel
+from repro.nn.policies import build_policy
+from repro.rl.evaluation import evaluate_under_faults
+from repro.rl.schedules import ConstantSchedule
+from repro.utils.rng import spawn_generators
+
+OPERATING_VOLTAGE_VMIN = 0.72
+LEARNING_STEPS = 2500
+
+
+def main() -> None:
+    profile = FAST_PROFILE
+    env_rng, offline_rng, device_rng = spawn_generators(1, 3)
+    env = NavigationEnv(profile.navigation, rng=env_rng)
+    ber_percent = CHIP_RANDOM.ber_percent_at_voltage(OPERATING_VOLTAGE_VMIN)
+    print(f"chip: {CHIP_RANDOM.name}, operating point {OPERATING_VOLTAGE_VMIN} Vmin "
+          f"-> p = {ber_percent:.3f} % bit errors")
+
+    print(f"offline BERRY pre-training ({profile.training_episodes} episodes) ...")
+    offline = train_offline_berry(
+        env, profile.training_episodes, ber_percent=1.0,
+        policy_spec=profile.policy_spec, config=profile.dqn, rng=offline_rng,
+    )
+
+    # Accelerator cost model for the deployed policy (used for learning-energy accounting).
+    reference = build_policy(profile.policy_spec, env.observation_space.shape, env.action_space.n, rng=0)
+    accelerator = AcceleratorModel(reference, env.observation_space.shape)
+
+    # Fine-tuning starts from an already competent policy, so exploration stays low.
+    fine_tune_config = replace(profile.dqn, epsilon_schedule=ConstantSchedule(0.1))
+    session = OnDeviceSession(
+        env, CHIP_RANDOM, normalized_voltage=OPERATING_VOLTAGE_VMIN,
+        policy_spec=profile.policy_spec, config=fine_tune_config,
+        accelerator=accelerator, rng=device_rng,
+    )
+    session.warm_start(offline.q_network.state_dict())
+    device_map = session.trainer.device_fault_map
+
+    def robustness(network) -> float:
+        point = evaluate_under_faults(
+            env, network, ber_percent=ber_percent, fault_maps=[device_map],
+            episodes_per_map=profile.eval_episodes, rng=17,
+        )
+        return 100.0 * point.success_rate
+
+    before = robustness(offline.q_network)
+    print(f"fine-tuning on-device for ~{LEARNING_STEPS} environment steps ...")
+    result = session.run(num_learning_steps=LEARNING_STEPS)
+    after = robustness(session.trainer.q_network)
+
+    print()
+    print(f"success rate on this chip's fault map, offline policy : {before:5.1f} %")
+    print(f"success rate on this chip's fault map, after on-device : {after:5.1f} %")
+    print(f"on-device learning steps: {result.num_learning_steps}")
+    print(f"on-device learning energy: {result.learning_energy_j * 1e3:.2f} mJ "
+          f"(accelerator model at {OPERATING_VOLTAGE_VMIN} Vmin; the paper's C3F2 policy "
+          f"is ~100x larger, hence its ~kJ learning budgets in Table IV)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: from supply voltage to mission-level quality-of-flight.
+
+Builds the cyber-physical mission pipeline for the Crazyflie + C3F2
+configuration, sweeps the supply voltage of the onboard accelerator and prints
+the Table-II-style report: bit-error rate, processing-energy savings, task
+success rate, flight time/energy and missions per battery charge — for both
+the classical DQN policy and the BERRY bit-error-robust policy.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import AutonomyScheme, MissionPipeline
+from repro.experiments.table2 import TABLE_II_VOLTAGES
+from repro.utils.tables import Table, format_aligned
+
+
+def main() -> None:
+    pipeline = MissionPipeline()
+
+    table = Table(
+        title="Voltage sweep: Crazyflie + C3F2 (classical vs BERRY)",
+        columns=[
+            "voltage_vmin",
+            "ber_percent",
+            "energy_savings_x",
+            "scheme",
+            "success_pct",
+            "flight_energy_j",
+            "flight_energy_change_pct",
+            "num_missions",
+        ],
+    )
+    for scheme in (AutonomyScheme.CLASSICAL, AutonomyScheme.BERRY):
+        for point in pipeline.voltage_sweep(TABLE_II_VOLTAGES, scheme=scheme):
+            table.add_row(
+                voltage_vmin=point.normalized_voltage,
+                ber_percent=point.ber_percent,
+                energy_savings_x=point.processing_energy_savings,
+                scheme=scheme.value,
+                success_pct=point.success_rate_percent,
+                flight_energy_j=point.flight_energy_j,
+                flight_energy_change_pct=point.flight_energy_change_pct,
+                num_missions=point.num_missions,
+            )
+    print(format_aligned(table))
+    print()
+
+    best = pipeline.best_operating_point(TABLE_II_VOLTAGES, scheme=AutonomyScheme.BERRY)
+    print(
+        "BERRY best operating point: "
+        f"{best.normalized_voltage:.2f} Vmin -> {best.processing_energy_savings:.2f}x processing "
+        f"energy savings, {best.flight_energy_change_pct:.1f}% flight energy, "
+        f"{best.missions_change_pct:+.1f}% missions "
+        f"(success rate {best.success_rate_percent:.1f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

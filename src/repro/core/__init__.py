@@ -1,0 +1,41 @@
+"""BERRY core: error-aware robust RL training and the cyber-physical pipeline.
+
+This package contains the paper's primary contribution:
+
+* :mod:`repro.core.berry`      — Algorithm 1, the bit-error-aware DQN trainer
+* :mod:`repro.core.modes`      — offline and on-device learning orchestration
+* :mod:`repro.core.pipeline`   — voltage -> robustness -> quality-of-flight chain
+* :mod:`repro.core.calibrated` — analytic robustness curves calibrated to Table I
+* :mod:`repro.core.metrics`    — operating-point records and improvement metrics
+* :mod:`repro.core.scenarios`  — the 72 deployment scenarios of the evaluation
+"""
+
+from repro.core.berry import BerryConfig, BerryTrainer
+from repro.core.modes import (
+    OnDeviceResult,
+    OnDeviceSession,
+    train_classical,
+    train_offline_berry,
+)
+from repro.core.metrics import OperatingPoint, percent_change
+from repro.core.pipeline import MissionPipeline, PipelineConfig
+from repro.core.calibrated import CalibratedRobustnessModel, AutonomyScheme
+from repro.core.scenarios import Scenario, iterate_scenarios, scenario_count
+
+__all__ = [
+    "BerryConfig",
+    "BerryTrainer",
+    "train_classical",
+    "train_offline_berry",
+    "OnDeviceSession",
+    "OnDeviceResult",
+    "OperatingPoint",
+    "percent_change",
+    "MissionPipeline",
+    "PipelineConfig",
+    "CalibratedRobustnessModel",
+    "AutonomyScheme",
+    "Scenario",
+    "iterate_scenarios",
+    "scenario_count",
+]

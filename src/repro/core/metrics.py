@@ -1,0 +1,101 @@
+"""Operating-point records and quality-of-flight metrics.
+
+An :class:`OperatingPoint` is one row of Table II: everything the paper
+reports about running the autonomy policy at one supply voltage — processing
+metrics (bit-error rate, energy savings), robustness (task success rate) and
+mission-level quality-of-flight (flight distance/time/energy and missions per
+battery charge), plus the improvements relative to nominal 1 V operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+
+def percent_change(value: float, baseline: float) -> float:
+    """Signed percentage change of ``value`` relative to ``baseline``.
+
+    Matches the sign convention of Table II: negative means a reduction
+    (e.g. flight-energy savings are reported as ``-15.62 %``).
+    """
+    if baseline == 0:
+        raise ConfigurationError("cannot compute a percent change against a zero baseline")
+    return 100.0 * (value - baseline) / baseline
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """All metrics of one (voltage, policy) operating point."""
+
+    # Low-voltage operation
+    normalized_voltage: float
+    volts: float
+    ber_percent: float
+    processing_energy_savings: float  # factor vs nominal, e.g. 3.43 means 3.43x
+    # Robustness
+    success_rate: float  # fraction in [0, 1]
+    # Physics
+    heatsink_mass_g: float
+    acceleration_m_s2: float
+    max_velocity_m_s: float
+    compute_power_w: float
+    rotor_power_w: float
+    # Quality-of-flight
+    flight_distance_m: float
+    flight_time_s: float
+    flight_energy_j: float
+    num_missions: float
+    # Improvements vs the 1 V nominal baseline (None for the baseline itself)
+    flight_energy_change_pct: Optional[float] = None
+    missions_change_pct: Optional[float] = None
+
+    @property
+    def success_rate_percent(self) -> float:
+        return 100.0 * self.success_rate
+
+    @property
+    def total_power_w(self) -> float:
+        return self.compute_power_w + self.rotor_power_w
+
+    @property
+    def compute_power_fraction(self) -> float:
+        return self.compute_power_w / self.total_power_w
+
+    def with_baseline(self, baseline: "OperatingPoint") -> "OperatingPoint":
+        """Return a copy annotated with improvements relative to ``baseline``."""
+        return OperatingPoint(
+            normalized_voltage=self.normalized_voltage,
+            volts=self.volts,
+            ber_percent=self.ber_percent,
+            processing_energy_savings=self.processing_energy_savings,
+            success_rate=self.success_rate,
+            heatsink_mass_g=self.heatsink_mass_g,
+            acceleration_m_s2=self.acceleration_m_s2,
+            max_velocity_m_s=self.max_velocity_m_s,
+            compute_power_w=self.compute_power_w,
+            rotor_power_w=self.rotor_power_w,
+            flight_distance_m=self.flight_distance_m,
+            flight_time_s=self.flight_time_s,
+            flight_energy_j=self.flight_energy_j,
+            num_missions=self.num_missions,
+            flight_energy_change_pct=percent_change(self.flight_energy_j, baseline.flight_energy_j),
+            missions_change_pct=percent_change(self.num_missions, baseline.num_missions),
+        )
+
+    def as_table_row(self) -> Dict[str, float]:
+        """Flatten into the column names used by the Table II benchmark."""
+        return {
+            "voltage_vmin": self.normalized_voltage,
+            "ber_percent": self.ber_percent,
+            "energy_savings_x": self.processing_energy_savings,
+            "success_rate_pct": self.success_rate_percent,
+            "flight_distance_m": self.flight_distance_m,
+            "flight_time_s": self.flight_time_s,
+            "flight_energy_j": self.flight_energy_j,
+            "flight_energy_change_pct": self.flight_energy_change_pct,
+            "num_missions": self.num_missions,
+            "missions_change_pct": self.missions_change_pct,
+        }

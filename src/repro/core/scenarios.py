@@ -1,0 +1,103 @@
+"""The 72 autonomous-navigation deployment scenarios of the evaluation.
+
+Sec. V of the paper evaluates BERRY across "72 UAV deployment scenarios":
+the cross product of
+
+* 3 environments (sparse / medium / dense obstacle density, Fig. 5),
+* 2 UAV platforms (Crazyflie, DJI Tello, Fig. 7),
+* 2 autonomy policy architectures (C3F2, C5F4, Fig. 7),
+* 6 bit-error levels (the Table I operating points p = 0 / 0.01 / 0.05 /
+  0.1 / 0.5 / 1 %).
+
+:func:`iterate_scenarios` enumerates them; each scenario knows how to build
+its mission pipeline and (at reduced scale) its navigation environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.core.calibrated import CalibratedRobustnessModel
+from repro.core.pipeline import MissionPipeline, PipelineConfig
+from repro.envs.navigation import NavigationConfig, NavigationEnv
+from repro.envs.obstacles import ObstacleDensity
+from repro.errors import ConfigurationError
+from repro.uav.platform import CRAZYFLIE, DJI_TELLO, UavPlatform
+
+#: Bit-error levels (percent) at which every scenario is evaluated (Table I columns).
+BIT_ERROR_LEVELS_PERCENT: Tuple[float, ...] = (0.0, 0.01, 0.05, 0.1, 0.5, 1.0)
+
+#: Policy architectures and their processing-power multiplier relative to C3F2.
+POLICY_VARIANTS: Tuple[Tuple[str, float], ...] = (("C3F2", 1.0), ("C5F4", 1.47))
+
+PLATFORMS: Tuple[UavPlatform, ...] = (CRAZYFLIE, DJI_TELLO)
+
+DENSITIES: Tuple[ObstacleDensity, ...] = (
+    ObstacleDensity.SPARSE,
+    ObstacleDensity.MEDIUM,
+    ObstacleDensity.DENSE,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One of the 72 deployment scenarios."""
+
+    density: ObstacleDensity
+    platform: UavPlatform
+    policy_name: str
+    compute_power_multiplier: float
+    ber_percent: float
+
+    @property
+    def name(self) -> str:
+        return (
+            f"{self.density.value}/{self.platform.name}/{self.policy_name}"
+            f"/p={self.ber_percent:g}%"
+        )
+
+    # ------------------------------------------------------------------ factories
+    def pipeline(self, robustness: Optional[CalibratedRobustnessModel] = None) -> MissionPipeline:
+        """The mission pipeline evaluating this scenario's platform and policy."""
+        base = robustness if robustness is not None else CalibratedRobustnessModel()
+        config = PipelineConfig(
+            platform=self.platform,
+            compute_power_multiplier=self.compute_power_multiplier,
+        )
+        return MissionPipeline(config, robustness=base.for_density(self.density))
+
+    def navigation_config(self, observation: str = "vector") -> NavigationConfig:
+        """A reduced-scale navigation environment matching this scenario's density."""
+        return NavigationConfig(density=self.density, observation=observation)
+
+    def environment(self, rng: int = 0, observation: str = "vector") -> NavigationEnv:
+        return NavigationEnv(self.navigation_config(observation), rng=rng)
+
+
+def iterate_scenarios() -> Iterator[Scenario]:
+    """Yield all 72 scenarios in a deterministic order."""
+    for density in DENSITIES:
+        for platform in PLATFORMS:
+            for policy_name, multiplier in POLICY_VARIANTS:
+                for ber in BIT_ERROR_LEVELS_PERCENT:
+                    yield Scenario(
+                        density=density,
+                        platform=platform,
+                        policy_name=policy_name,
+                        compute_power_multiplier=multiplier,
+                        ber_percent=ber,
+                    )
+
+
+def scenario_count() -> int:
+    """Total number of scenarios (72 in the paper)."""
+    return len(DENSITIES) * len(PLATFORMS) * len(POLICY_VARIANTS) * len(BIT_ERROR_LEVELS_PERCENT)
+
+
+def get_scenario(index: int) -> Scenario:
+    """Scenario number ``index`` (0-based) in the deterministic enumeration order."""
+    scenarios = list(iterate_scenarios())
+    if not 0 <= index < len(scenarios):
+        raise ConfigurationError(f"scenario index must be in [0, {len(scenarios)}), got {index}")
+    return scenarios[index]

@@ -1,0 +1,211 @@
+"""Obstacle field generation for the navigation environments.
+
+Fig. 5 of the paper evaluates three environments of increasing difficulty:
+sparse (outdoor), medium (indoor) and dense (indoor) obstacle densities.  Here
+an environment is a rectangular world populated with circular obstacles; the
+generator guarantees that the start and goal positions stay clear and that a
+collision-free corridor exists (checked with a coarse occupancy-grid BFS), so
+every generated scenario is solvable by a competent policy.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EnvironmentError_
+from repro.utils.rng import SeedLike, as_generator
+
+
+class ObstacleDensity(str, enum.Enum):
+    """The three environment difficulty levels of Fig. 5."""
+
+    SPARSE = "sparse"
+    MEDIUM = "medium"
+    DENSE = "dense"
+
+    @property
+    def obstacles_per_100m2(self) -> float:
+        return {"sparse": 2.0, "medium": 5.0, "dense": 9.0}[self.value]
+
+
+@dataclass(frozen=True)
+class ObstacleField:
+    """A set of circular obstacles inside a rectangular world."""
+
+    world_size: Tuple[float, float]
+    centers: np.ndarray  # (N, 2)
+    radii: np.ndarray    # (N,)
+
+    def __post_init__(self) -> None:
+        centers = np.asarray(self.centers, dtype=np.float64).reshape(-1, 2)
+        radii = np.asarray(self.radii, dtype=np.float64).reshape(-1)
+        object.__setattr__(self, "centers", centers)
+        object.__setattr__(self, "radii", radii)
+        if centers.shape[0] != radii.shape[0]:
+            raise ConfigurationError("centers and radii must have the same length")
+        if radii.size and radii.min() <= 0:
+            raise ConfigurationError("obstacle radii must be positive")
+        width, height = self.world_size
+        if width <= 0 or height <= 0:
+            raise ConfigurationError(f"world size must be positive, got {self.world_size}")
+
+    @property
+    def num_obstacles(self) -> int:
+        return int(self.radii.size)
+
+    # ------------------------------------------------------------------ geometric queries
+    def in_bounds(self, position: np.ndarray, margin: float = 0.0) -> bool:
+        x, y = float(position[0]), float(position[1])
+        width, height = self.world_size
+        return margin <= x <= width - margin and margin <= y <= height - margin
+
+    def clearance(self, position: np.ndarray) -> float:
+        """Distance from ``position`` to the nearest obstacle surface or wall."""
+        x, y = float(position[0]), float(position[1])
+        width, height = self.world_size
+        wall_distance = min(x, y, width - x, height - y)
+        if self.num_obstacles == 0:
+            return wall_distance
+        deltas = self.centers - np.array([x, y])
+        distances = np.sqrt(np.sum(deltas**2, axis=1)) - self.radii
+        return float(min(wall_distance, distances.min()))
+
+    def collides(self, position: np.ndarray, vehicle_radius: float = 0.0) -> bool:
+        """True if a vehicle of ``vehicle_radius`` at ``position`` hits anything."""
+        if not self.in_bounds(position, margin=vehicle_radius):
+            return True
+        return self.clearance(position) < vehicle_radius
+
+    def segment_collides(
+        self, start: np.ndarray, end: np.ndarray, vehicle_radius: float = 0.0, samples: int = 8
+    ) -> bool:
+        """Conservatively check a straight motion segment for collisions."""
+        start = np.asarray(start, dtype=np.float64)
+        end = np.asarray(end, dtype=np.float64)
+        for fraction in np.linspace(0.0, 1.0, max(2, samples)):
+            if self.collides(start + fraction * (end - start), vehicle_radius):
+                return True
+        return False
+
+    def ray_distance(
+        self, origin: np.ndarray, angle: float, max_range: float, step: float = 0.1
+    ) -> float:
+        """Distance along a ray until the first obstacle or wall (capped at ``max_range``)."""
+        if max_range <= 0 or step <= 0:
+            raise ConfigurationError("ray max_range and step must be positive")
+        direction = np.array([np.cos(angle), np.sin(angle)])
+        origin = np.asarray(origin, dtype=np.float64)
+        distance = step
+        while distance < max_range:
+            point = origin + distance * direction
+            if self.collides(point):
+                return distance
+            distance += step
+        return max_range
+
+    # ------------------------------------------------------------------ solvability check
+    def has_free_path(
+        self,
+        start: np.ndarray,
+        goal: np.ndarray,
+        vehicle_radius: float,
+        cell_size: float = 0.5,
+    ) -> bool:
+        """BFS over a coarse occupancy grid to confirm start and goal are connected."""
+        width, height = self.world_size
+        cols = max(2, int(np.ceil(width / cell_size)))
+        rows = max(2, int(np.ceil(height / cell_size)))
+        occupancy = np.zeros((rows, cols), dtype=bool)
+        ys = (np.arange(rows) + 0.5) * height / rows
+        xs = (np.arange(cols) + 0.5) * width / cols
+        for row, y in enumerate(ys):
+            for col, x in enumerate(xs):
+                occupancy[row, col] = self.collides(np.array([x, y]), vehicle_radius)
+
+        def cell_of(point: np.ndarray) -> Tuple[int, int]:
+            col = min(cols - 1, max(0, int(point[0] / width * cols)))
+            row = min(rows - 1, max(0, int(point[1] / height * rows)))
+            return row, col
+
+        start_cell = cell_of(np.asarray(start, dtype=np.float64))
+        goal_cell = cell_of(np.asarray(goal, dtype=np.float64))
+        occupancy[start_cell] = False
+        occupancy[goal_cell] = False
+        frontier: deque[Tuple[int, int]] = deque([start_cell])
+        visited = {start_cell}
+        while frontier:
+            row, col = frontier.popleft()
+            if (row, col) == goal_cell:
+                return True
+            for d_row, d_col in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nxt = (row + d_row, col + d_col)
+                if (
+                    0 <= nxt[0] < rows
+                    and 0 <= nxt[1] < cols
+                    and nxt not in visited
+                    and not occupancy[nxt]
+                ):
+                    visited.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+
+def generate_obstacles(
+    world_size: Tuple[float, float],
+    density: ObstacleDensity,
+    start: np.ndarray,
+    goal: np.ndarray,
+    rng: SeedLike = None,
+    vehicle_radius: float = 0.25,
+    keepout_radius: float = 1.5,
+    radius_range: Tuple[float, float] = (0.4, 0.9),
+    max_attempts: int = 40,
+) -> ObstacleField:
+    """Generate a solvable obstacle field at the requested density.
+
+    Obstacles are sampled uniformly in the world, rejected if they intrude on
+    the start/goal keep-out discs, and the whole field is resampled (up to
+    ``max_attempts`` times) until a collision-free corridor between start and
+    goal exists.
+    """
+    if radius_range[0] <= 0 or radius_range[1] < radius_range[0]:
+        raise ConfigurationError(f"invalid obstacle radius range {radius_range}")
+    generator = as_generator(rng)
+    width, height = world_size
+    area = width * height
+    target_count = int(round(density.obstacles_per_100m2 * area / 100.0))
+    start = np.asarray(start, dtype=np.float64)
+    goal = np.asarray(goal, dtype=np.float64)
+
+    for _ in range(max_attempts):
+        centers: List[np.ndarray] = []
+        radii: List[float] = []
+        for _ in range(target_count):
+            radius = float(generator.uniform(*radius_range))
+            center = np.array(
+                [
+                    generator.uniform(radius, width - radius),
+                    generator.uniform(radius, height - radius),
+                ]
+            )
+            if np.linalg.norm(center - start) < radius + keepout_radius:
+                continue
+            if np.linalg.norm(center - goal) < radius + keepout_radius:
+                continue
+            centers.append(center)
+            radii.append(radius)
+        field = ObstacleField(
+            world_size=world_size,
+            centers=np.array(centers).reshape(-1, 2),
+            radii=np.array(radii),
+        )
+        if field.has_free_path(start, goal, vehicle_radius):
+            return field
+    raise EnvironmentError_(
+        f"could not generate a solvable {density.value} environment in {max_attempts} attempts"
+    )

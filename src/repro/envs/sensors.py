@@ -1,0 +1,108 @@
+"""Onboard perception models: ray-cast depth sensor and egocentric occupancy image.
+
+The paper's policies consume a depth-camera-like observation ("perception-based
+action space").  Two observation front-ends are provided:
+
+* :class:`RaySensor` — a 1-D array of normalized depth readings over a forward
+  arc, used by the MLP policies of the fast profile.
+* :class:`OccupancyImager` — an egocentric multi-channel image (obstacle
+  occupancy, goal direction and goal distance channels) sized to feed the
+  convolutional C3F2/C5F4 policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.envs.obstacles import ObstacleField
+
+
+@dataclass(frozen=True)
+class RaySensor:
+    """Forward-facing depth rays in the vehicle's heading frame."""
+
+    num_rays: int = 12
+    field_of_view_rad: float = np.pi
+    max_range_m: float = 6.0
+    step_m: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.num_rays < 2:
+            raise ConfigurationError(f"num_rays must be at least 2, got {self.num_rays}")
+        if not 0 < self.field_of_view_rad <= 2 * np.pi:
+            raise ConfigurationError(
+                f"field of view must be in (0, 2*pi], got {self.field_of_view_rad}"
+            )
+        if self.max_range_m <= 0 or self.step_m <= 0:
+            raise ConfigurationError("max_range_m and step_m must be positive")
+
+    @property
+    def ray_angles(self) -> np.ndarray:
+        """Ray angles relative to the heading, from -FOV/2 to +FOV/2."""
+        half = self.field_of_view_rad / 2.0
+        return np.linspace(-half, half, self.num_rays)
+
+    def sense(self, field: ObstacleField, position: np.ndarray, heading: float) -> np.ndarray:
+        """Normalized depth readings in [0, 1] (1 = free space out to max range)."""
+        readings = np.empty(self.num_rays, dtype=np.float64)
+        for index, relative_angle in enumerate(self.ray_angles):
+            distance = field.ray_distance(
+                position, heading + relative_angle, self.max_range_m, self.step_m
+            )
+            readings[index] = distance / self.max_range_m
+        return readings
+
+
+@dataclass(frozen=True)
+class OccupancyImager:
+    """Egocentric occupancy + goal-encoding image for convolutional policies.
+
+    Channel 0: obstacle occupancy of the window ahead of the vehicle (1 = blocked).
+    Channel 1: goal bearing encoded as ``cos`` of the relative angle (constant map).
+    Channel 2: normalized goal distance (constant map, clipped to [0, 1]).
+    """
+
+    image_size: int = 20
+    window_m: float = 8.0
+    goal_distance_scale_m: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.image_size < 4:
+            raise ConfigurationError(f"image_size must be at least 4, got {self.image_size}")
+        if self.window_m <= 0 or self.goal_distance_scale_m <= 0:
+            raise ConfigurationError("window_m and goal_distance_scale_m must be positive")
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return (3, self.image_size, self.image_size)
+
+    def render(
+        self,
+        field: ObstacleField,
+        position: np.ndarray,
+        heading: float,
+        goal: np.ndarray,
+    ) -> np.ndarray:
+        """Render the egocentric observation image (C, H, W) in [0, 1]."""
+        size = self.image_size
+        image = np.zeros(self.shape, dtype=np.float64)
+        half_window = self.window_m / 2.0
+        cos_h, sin_h = np.cos(heading), np.sin(heading)
+        # Sample a grid in the vehicle frame: x forward [0, window], y lateral [-w/2, w/2].
+        forward = (np.arange(size) + 0.5) / size * self.window_m
+        lateral = ((np.arange(size) + 0.5) / size - 0.5) * self.window_m
+        for row, fwd in enumerate(forward):
+            for col, lat in enumerate(lateral):
+                world_x = position[0] + fwd * cos_h - lat * sin_h
+                world_y = position[1] + fwd * sin_h + lat * cos_h
+                image[0, row, col] = 1.0 if field.collides(np.array([world_x, world_y])) else 0.0
+        goal_vector = np.asarray(goal, dtype=np.float64) - np.asarray(position, dtype=np.float64)
+        goal_distance = float(np.linalg.norm(goal_vector))
+        goal_bearing = float(np.arctan2(goal_vector[1], goal_vector[0]) - heading)
+        image[1, :, :] = 0.5 * (1.0 + np.cos(goal_bearing))
+        image[2, :, :] = min(1.0, goal_distance / self.goal_distance_scale_m)
+        return image

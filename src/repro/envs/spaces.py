@@ -1,0 +1,68 @@
+"""Observation and action spaces (minimal Gym-compatible subset).
+
+Only what the reproduction needs: a :class:`Discrete` action space for the
+25-action policy head and a :class:`Box` observation space describing the
+sensor vectors/images fed to the Q-network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class Discrete:
+    """A finite set of actions ``{0, 1, ..., n-1}``."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ConfigurationError(f"Discrete space needs n > 0, got {self.n}")
+
+    def sample(self, rng: SeedLike = None) -> int:
+        return int(as_generator(rng).integers(0, self.n))
+
+    def contains(self, action: Union[int, np.integer]) -> bool:
+        return isinstance(action, (int, np.integer)) and 0 <= int(action) < self.n
+
+
+class Box:
+    """A bounded box of real values with a fixed shape."""
+
+    def __init__(self, low: float, high: float, shape: Tuple[int, ...]) -> None:
+        if high <= low:
+            raise ConfigurationError(f"Box needs high > low, got [{low}, {high}]")
+        if not shape or any(int(dim) <= 0 for dim in shape):
+            raise ConfigurationError(f"Box shape must be positive, got {shape}")
+        self.low = float(low)
+        self.high = float(high)
+        self.shape = tuple(int(dim) for dim in shape)
+
+    def sample(self, rng: SeedLike = None) -> np.ndarray:
+        return as_generator(rng).uniform(self.low, self.high, size=self.shape)
+
+    def contains(self, value: np.ndarray) -> bool:
+        value = np.asarray(value)
+        return (
+            value.shape == self.shape
+            and bool(np.all(value >= self.low - 1e-9))
+            and bool(np.all(value <= self.high + 1e-9))
+        )
+
+    def __repr__(self) -> str:
+        return f"Box(low={self.low}, high={self.high}, shape={self.shape})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Box)
+            and other.low == self.low
+            and other.high == self.high
+            and other.shape == self.shape
+        )

@@ -1,0 +1,101 @@
+"""Episode rollout helpers.
+
+Everything downstream of the environment (robustness evaluation, mission
+metrics, benchmarks) consumes complete episodes; these helpers run a policy
+callable — any function mapping an observation to a discrete action — through
+one or many episodes and collect the quantities the paper reports: success,
+collision, episode length and flown path length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.envs.navigation import NavigationEnv
+from repro.utils.rng import SeedLike, as_generator
+
+PolicyFn = Callable[[np.ndarray], int]
+
+
+@dataclass(frozen=True)
+class EpisodeResult:
+    """Summary of one completed episode."""
+
+    success: bool
+    collision: bool
+    steps: int
+    path_length_m: float
+    total_reward: float
+
+    @property
+    def failed(self) -> bool:
+        return not self.success
+
+
+def run_episode(
+    env: NavigationEnv,
+    policy: PolicyFn,
+    epsilon: float = 0.0,
+    rng: SeedLike = None,
+    reset_seed: Optional[int] = None,
+) -> EpisodeResult:
+    """Run one episode with an optional epsilon-greedy exploration wrapper."""
+    generator = as_generator(rng)
+    observation = env.reset(seed=reset_seed)
+    total_reward = 0.0
+    steps = 0
+    success = False
+    collision = False
+    while True:
+        if epsilon > 0.0 and generator.random() < epsilon:
+            action = env.action_space.sample(generator)
+        else:
+            action = int(policy(observation))
+        result = env.step(action)
+        observation = result.observation
+        total_reward += result.reward
+        steps = int(result.info["steps"])
+        if result.terminated or result.truncated:
+            success = bool(result.info["success"])
+            collision = bool(result.info["collision"])
+            break
+    return EpisodeResult(
+        success=success,
+        collision=collision,
+        steps=steps,
+        path_length_m=env.path_length_m,
+        total_reward=total_reward,
+    )
+
+
+def run_episodes(
+    env: NavigationEnv,
+    policy: PolicyFn,
+    num_episodes: int,
+    epsilon: float = 0.0,
+    rng: SeedLike = 0,
+) -> List[EpisodeResult]:
+    """Run ``num_episodes`` episodes and return their results."""
+    generator = as_generator(rng)
+    results: List[EpisodeResult] = []
+    for _ in range(num_episodes):
+        results.append(run_episode(env, policy, epsilon=epsilon, rng=generator))
+    return results
+
+
+def success_rate(results: Sequence[EpisodeResult]) -> float:
+    """Fraction of successful episodes."""
+    if not results:
+        return 0.0
+    return sum(1 for result in results if result.success) / len(results)
+
+
+def mean_path_length(results: Sequence[EpisodeResult], successful_only: bool = True) -> float:
+    """Average flown path length, by default over successful episodes only."""
+    selected = [r for r in results if r.success] if successful_only else list(results)
+    if not selected:
+        return float("nan")
+    return float(np.mean([r.path_length_m for r in selected]))

@@ -1,0 +1,37 @@
+"""Exception hierarchy used across the BERRY reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause
+while still being able to distinguish configuration problems from runtime
+simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or out-of-range parameters."""
+
+
+class ShapeError(ReproError):
+    """A tensor/array did not have the shape a layer or model expected."""
+
+
+class QuantizationError(ReproError):
+    """Quantization or dequantization was asked to do something impossible."""
+
+
+class FaultModelError(ReproError):
+    """A fault map, BER curve or chip profile was used outside its domain."""
+
+
+class EnvironmentError_(ReproError):
+    """A navigation environment was driven through an invalid transition."""
+
+
+class TrainingError(ReproError):
+    """A training loop was configured or stepped inconsistently."""

@@ -1,0 +1,70 @@
+"""Fig. 1 — the voltage -> physics -> mission chain observed on the DJI Tello.
+
+The figure traces one causal chain for two supply voltages (1.5 V and 0.5 V):
+supply voltage -> heatsink weight -> payload -> acceleration & velocity ->
+flight time & flight energy -> number of missions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.pipeline import MissionPipeline, PipelineConfig
+from repro.hardware.thermal import HeatsinkModel
+from repro.uav.battery import missions_per_charge
+from repro.uav.dynamics import UavDynamics
+from repro.uav.flight import FlightModel
+from repro.uav.platform import DJI_TELLO, UavPlatform
+from repro.utils.tables import Table
+
+#: The two operating voltages annotated in Fig. 1 (volts).
+FIG1_VOLTAGES: tuple[float, ...] = (1.5, 0.5)
+
+#: Fig. 1's mission is a longer outdoor delivery leg than the Table II task.
+FIG1_MISSION_DISTANCE_M = 500.0
+
+
+def generate_fig1_voltage_physics(
+    platform: UavPlatform = DJI_TELLO,
+    voltages: Sequence[float] = FIG1_VOLTAGES,
+    mission_distance_m: float = FIG1_MISSION_DISTANCE_M,
+    success_rate: float = 0.9,
+) -> Table:
+    """Regenerate the Fig. 1 causal-chain numbers for a set of supply voltages."""
+    heatsink = HeatsinkModel()
+    dynamics = UavDynamics(platform)
+    flight = FlightModel(platform)
+    pipeline = MissionPipeline(PipelineConfig(platform=platform))
+    table = Table(
+        title="Fig. 1: supply voltage -> payload -> velocity -> flight energy -> missions",
+        columns=[
+            "supply_voltage_v",
+            "heatsink_weight_g",
+            "acceleration_m_s2",
+            "max_velocity_m_s",
+            "flight_time_s",
+            "flight_energy_kj",
+            "num_missions",
+        ],
+    )
+    for volts in voltages:
+        payload = heatsink.mass_at_volts_g(volts)
+        compute_power = platform.compute_power_nominal_w * pipeline.config.scaling.energy_scale(volts)
+        outcome = flight.fly_mission(
+            payload_g=payload,
+            compute_power_w=compute_power,
+            nominal_distance_m=mission_distance_m,
+        )
+        missions = missions_per_charge(
+            success_rate, platform.battery_capacity_j, outcome.flight_energy_j
+        )
+        table.add_row(
+            supply_voltage_v=float(volts),
+            heatsink_weight_g=payload,
+            acceleration_m_s2=dynamics.acceleration_m_s2(payload),
+            max_velocity_m_s=dynamics.max_safe_velocity_m_s(payload),
+            flight_time_s=outcome.flight_time_s,
+            flight_energy_kj=outcome.flight_energy_j / 1e3,
+            num_missions=missions,
+        )
+    return table

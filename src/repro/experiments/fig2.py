@@ -1,0 +1,33 @@
+"""Fig. 2 — SRAM bit-error rate and access energy vs normalized operating voltage."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.faults.ber_model import DEFAULT_BER_MODEL, VoltageBerModel
+from repro.hardware.energy import SramEnergyCurve
+from repro.utils.tables import Table
+
+
+def generate_fig2_voltage_ber_energy(
+    normalized_voltages: Optional[Sequence[float]] = None,
+    ber_model: VoltageBerModel = DEFAULT_BER_MODEL,
+    sram_curve: SramEnergyCurve = SramEnergyCurve(),
+) -> Table:
+    """Regenerate the Fig. 2 curves (BER and SRAM access energy vs voltage)."""
+    if normalized_voltages is None:
+        normalized_voltages = np.linspace(0.64, 0.88, 13)
+    table = Table(
+        title="Fig. 2: bit-error rate and SRAM access energy vs normalized voltage",
+        columns=["voltage_vmin", "ber_percent", "sram_access_energy_nj"],
+    )
+    for voltage in normalized_voltages:
+        voltage = float(voltage)
+        table.add_row(
+            voltage_vmin=voltage,
+            ber_percent=ber_model.ber_percent(voltage),
+            sram_access_energy_nj=sram_curve.energy_nj(voltage),
+        )
+    return table

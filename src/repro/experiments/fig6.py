@@ -1,0 +1,53 @@
+"""Fig. 6 — the physical relations unlocked by low-voltage operation.
+
+Three sub-figures: (a) heatsink weight vs supply voltage, (b) acceleration vs
+payload weight, and (c) maximum safe flight velocity vs acceleration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.dvfs import DEFAULT_VOLTAGE_SCALING, VoltageScaling
+from repro.hardware.thermal import HeatsinkModel
+from repro.uav.dynamics import UavDynamics
+from repro.uav.platform import CRAZYFLIE, UavPlatform
+from repro.utils.tables import Table
+
+
+def generate_fig6_physics_relations(
+    platform: UavPlatform = CRAZYFLIE,
+    normalized_voltages: Optional[Sequence[float]] = None,
+    heatsink: HeatsinkModel = HeatsinkModel(),
+    scaling: VoltageScaling = DEFAULT_VOLTAGE_SCALING,
+) -> Table:
+    """Regenerate the Fig. 6 relations across a voltage sweep (one row per voltage)."""
+    if normalized_voltages is None:
+        normalized_voltages = np.linspace(0.75, 1.30, 12)
+    dynamics = UavDynamics(platform)
+    table = Table(
+        title="Fig. 6: voltage -> heatsink weight -> acceleration -> safe velocity",
+        columns=[
+            "voltage_vmin",
+            "supply_volts",
+            "heatsink_weight_g",
+            "payload_weight_g",
+            "acceleration_m_s2",
+            "max_velocity_m_s",
+        ],
+    )
+    for voltage in normalized_voltages:
+        voltage = float(voltage)
+        volts = scaling.to_volts(voltage)
+        mass_g = heatsink.mass_at_volts_g(volts)
+        table.add_row(
+            voltage_vmin=voltage,
+            supply_volts=volts,
+            heatsink_weight_g=mass_g,
+            payload_weight_g=mass_g,
+            acceleration_m_s2=dynamics.acceleration_m_s2(mass_g),
+            max_velocity_m_s=dynamics.max_safe_velocity_m_s(mass_g),
+        )
+    return table

@@ -1,0 +1,102 @@
+"""Fig. 7 — effectiveness across UAV platforms (Crazyflie, DJI Tello) and
+policy architectures (C3F2, C5F4).
+
+The figure's table reports, for each (UAV, policy) pair, the rotor/compute
+power split and the flight-energy reduction and missions increase BERRY
+achieves at its best low-voltage operating point; the figure's curves sweep
+the Tello's success rate, flight energy and missions across voltages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.calibrated import AutonomyScheme
+from repro.core.pipeline import MissionPipeline
+from repro.experiments.table2 import TABLE_II_VOLTAGES
+from repro.uav.platform import CRAZYFLIE, DJI_TELLO, UavPlatform
+from repro.utils.tables import Table
+
+#: (platform, policy name, compute-power multiplier vs C3F2) rows of Fig. 7's table.
+FIG7_CONFIGURATIONS: Tuple[Tuple[UavPlatform, str, float], ...] = (
+    (CRAZYFLIE, "C3F2", 1.0),
+    (DJI_TELLO, "C3F2", 1.0),
+    (DJI_TELLO, "C5F4", 1.47),
+)
+
+
+def generate_fig7_platforms_models(
+    configurations: Sequence[Tuple[UavPlatform, str, float]] = FIG7_CONFIGURATIONS,
+    pipeline: Optional[MissionPipeline] = None,
+    candidate_voltages: Sequence[float] = TABLE_II_VOLTAGES,
+    max_success_drop_pct: float = 1.0,
+) -> Table:
+    """Regenerate the Fig. 7 platform/model comparison table."""
+    base = pipeline if pipeline is not None else MissionPipeline()
+    table = Table(
+        title="Fig. 7: effectiveness across UAV platforms and policy architectures",
+        columns=[
+            "uav",
+            "policy",
+            "rotor_power_pct",
+            "compute_power_pct",
+            "best_voltage_vmin",
+            "energy_savings_x",
+            "flight_energy_reduction_pct",
+            "missions_increase_pct",
+        ],
+    )
+    for platform, policy_name, multiplier in configurations:
+        variant = base.for_platform(platform, compute_power_multiplier=multiplier)
+        nominal = variant.nominal_operating_point(
+            variant.provider_for_scheme(AutonomyScheme.BERRY)
+        )
+        best = variant.best_operating_point(
+            candidate_voltages,
+            scheme=AutonomyScheme.BERRY,
+            max_success_drop_pct=max_success_drop_pct,
+        )
+        table.add_row(
+            uav=platform.name,
+            policy=policy_name,
+            rotor_power_pct=100.0 * (1.0 - nominal.compute_power_fraction),
+            compute_power_pct=100.0 * nominal.compute_power_fraction,
+            best_voltage_vmin=best.normalized_voltage,
+            energy_savings_x=best.processing_energy_savings,
+            flight_energy_reduction_pct=-float(best.flight_energy_change_pct or 0.0),
+            missions_increase_pct=float(best.missions_change_pct or 0.0),
+        )
+    return table
+
+
+def generate_fig7_tello_voltage_sweep(
+    normalized_voltages: Sequence[float] = (0.76, 0.77, 0.79, 0.80, 0.82, 0.84, 0.86),
+    pipeline: Optional[MissionPipeline] = None,
+) -> Table:
+    """Regenerate the Fig. 7 voltage-sweep curves for the DJI Tello (C3F2)."""
+    base = pipeline if pipeline is not None else MissionPipeline()
+    tello = base.for_platform(DJI_TELLO)
+    table = Table(
+        title="Fig. 7 (curves): DJI Tello success rate, flight energy and missions vs voltage",
+        columns=[
+            "voltage_vmin",
+            "classical_success_pct",
+            "berry_success_pct",
+            "berry_flight_energy_j",
+            "berry_num_missions",
+        ],
+    )
+    classical = tello.provider_for_scheme(AutonomyScheme.CLASSICAL)
+    berry = tello.provider_for_scheme(AutonomyScheme.BERRY)
+    for voltage in normalized_voltages:
+        voltage = float(voltage)
+        classical_point = tello.evaluate(voltage, classical)
+        berry_point = tello.evaluate(voltage, berry)
+        table.add_row(
+            voltage_vmin=voltage,
+            classical_success_pct=classical_point.success_rate_percent,
+            berry_success_pct=berry_point.success_rate_percent,
+            berry_flight_energy_j=berry_point.flight_energy_j,
+            berry_num_missions=berry_point.num_missions,
+        )
+    return table

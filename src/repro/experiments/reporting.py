@@ -1,0 +1,33 @@
+"""Report rendering and persistence for the experiment harness."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence, Union
+
+from repro.utils.serialization import save_json
+from repro.utils.tables import Table, format_aligned, format_markdown
+
+PathLike = Union[str, Path]
+
+
+def render_report(tables: Sequence[Table], markdown: bool = True) -> str:
+    """Render a list of experiment tables into one report string."""
+    renderer = format_markdown if markdown else format_aligned
+    return "\n\n".join(renderer(table) for table in tables)
+
+
+def save_tables(tables: Mapping[str, Table], directory: PathLike) -> list[Path]:
+    """Persist each table as JSON under ``directory``; returns the written paths."""
+    directory = Path(directory)
+    written: list[Path] = []
+    for name, table in tables.items():
+        written.append(save_json(directory / f"{name}.json", table.to_jsonable()))
+    return written
+
+
+def print_table(table: Table, markdown: bool = False) -> None:
+    """Print one table to stdout (used by the example scripts and benchmarks)."""
+    renderer = format_markdown if markdown else format_aligned
+    print(renderer(table))
+    print()

@@ -1,0 +1,65 @@
+"""Table II — operating and system efficiency across a supply-voltage sweep.
+
+For each operating voltage the table reports: bit-error rate, processing
+energy savings, task success rate, flight distance/time/energy (with savings
+vs 1 V) and the number of missions per charge (with improvement vs 1 V).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.calibrated import AutonomyScheme
+from repro.core.pipeline import MissionPipeline, SuccessRateProvider
+from repro.utils.tables import Table
+
+#: The normalized voltages (V/Vmin) of Table II's rows, highest to lowest.
+TABLE_II_VOLTAGES: Tuple[float, ...] = (
+    0.86,
+    0.84,
+    0.83,
+    0.81,
+    0.80,
+    0.79,
+    0.77,
+    0.76,
+    0.74,
+    0.73,
+    0.71,
+    0.68,
+    0.64,
+)
+
+
+def generate_table2_system_efficiency(
+    normalized_voltages: Sequence[float] = TABLE_II_VOLTAGES,
+    pipeline: Optional[MissionPipeline] = None,
+    scheme: AutonomyScheme = AutonomyScheme.BERRY,
+    success_provider: Optional[SuccessRateProvider] = None,
+) -> Table:
+    """Regenerate Table II for the Crazyflie + C3F2 configuration (by default)."""
+    pipeline = pipeline if pipeline is not None else MissionPipeline()
+    points = pipeline.voltage_sweep(
+        normalized_voltages,
+        success_provider=success_provider,
+        scheme=scheme,
+        include_nominal=True,
+    )
+    table = Table(
+        title="Table II: operating and system efficiency vs supply voltage (BERRY)",
+        columns=[
+            "voltage_vmin",
+            "ber_percent",
+            "energy_savings_x",
+            "success_rate_pct",
+            "flight_distance_m",
+            "flight_time_s",
+            "flight_energy_j",
+            "flight_energy_change_pct",
+            "num_missions",
+            "missions_change_pct",
+        ],
+    )
+    for point in points:
+        table.add_row(**point.as_table_row())
+    return table

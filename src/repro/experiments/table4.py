@@ -1,0 +1,121 @@
+"""Table IV — on-device error-aware robust learning.
+
+On-device BERRY fine-tunes the policy on the specific low-voltage chip the
+UAV flies with, so the training-time fault pattern matches the deployment
+pattern exactly.  Relative to offline BERRY this recovers most of the
+robustness lost at very low voltages (enabling 0.70 Vmin operation), at the
+cost of the energy spent on the learning itself.
+
+The calibrated generator models the on-device robustness recovery as a
+fraction of the offline success-rate drop that grows with the number of
+on-device learning steps; the measured path (:class:`repro.core.modes.OnDeviceSession`)
+runs the actual fine-tuning at reduced scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.calibrated import AutonomyScheme
+from repro.core.pipeline import MissionPipeline
+from repro.hardware.accelerator import AcceleratorModel
+from repro.uav.platform import DJI_TELLO
+from repro.utils.tables import Table
+
+#: (learning steps, normalized voltage) rows of Table IV.
+TABLE_IV_POINTS: Tuple[Tuple[int, float], ...] = (
+    (4000, 0.77),
+    (4000, 0.70),
+    (6000, 0.77),
+    (6000, 0.70),
+)
+
+#: Learning steps at which on-device adaptation recovers essentially all of the
+#: robustness lost by the offline policy at that chip's fault pattern.
+FULL_RECOVERY_STEPS = 6000
+
+
+def on_device_recovery_fraction(num_learning_steps: int) -> float:
+    """Fraction of the offline success-rate drop recovered by on-device learning."""
+    if num_learning_steps <= 0:
+        return 0.0
+    return min(0.97, 0.97 * num_learning_steps / FULL_RECOVERY_STEPS)
+
+
+def generate_table4_on_device(
+    points: Sequence[Tuple[int, float]] = TABLE_IV_POINTS,
+    pipeline: Optional[MissionPipeline] = None,
+    accelerator: Optional[AcceleratorModel] = None,
+    offline_voltages: Sequence[float] = (0.77, 0.70),
+) -> Table:
+    """Regenerate Table IV (DJI Tello, on-device vs offline BERRY vs 1 V baseline)."""
+    base = pipeline if pipeline is not None else MissionPipeline()
+    tello = base.for_platform(DJI_TELLO)
+    berry = tello.provider_for_scheme(AutonomyScheme.BERRY)
+    baseline = tello.nominal_operating_point(berry)
+    error_free = berry(0.0)
+
+    table = Table(
+        title="Table IV: on-device error-aware robust learning (DJI Tello)",
+        columns=[
+            "mode",
+            "learning_steps",
+            "voltage_vmin",
+            "learning_energy_j",
+            "energy_savings_x",
+            "success_rate_pct",
+            "flight_energy_j",
+            "num_missions",
+        ],
+    )
+
+    def learning_energy(steps: int, voltage: float) -> float:
+        if accelerator is None:
+            # Per-step learning energy consistent with the paper's ~0.46 J/step at
+            # 0.77 Vmin (1849 J / 4000 steps), scaling quadratically with voltage.
+            per_step_at_077 = 1849.0 / 4000.0
+            scale = (voltage / 0.77) ** 2
+            return steps * per_step_at_077 * scale
+        return accelerator.training_step_energy_joules(voltage) * steps
+
+    for steps, voltage in points:
+        offline_success = berry(tello.config.ber_model.ber_percent(voltage))
+        recovered = offline_success + on_device_recovery_fraction(steps) * (
+            error_free - offline_success
+        )
+        point = tello.evaluate(voltage, lambda _ber, sr=recovered: sr)
+        table.add_row(
+            mode="on-device BERRY",
+            learning_steps=steps,
+            voltage_vmin=voltage,
+            learning_energy_j=learning_energy(steps, voltage),
+            energy_savings_x=point.processing_energy_savings,
+            success_rate_pct=point.success_rate_percent,
+            flight_energy_j=point.flight_energy_j,
+            num_missions=point.num_missions,
+        )
+
+    for voltage in offline_voltages:
+        point = tello.evaluate(float(voltage), berry)
+        table.add_row(
+            mode="offline BERRY",
+            learning_steps=0,
+            voltage_vmin=float(voltage),
+            learning_energy_j=0.0,
+            energy_savings_x=point.processing_energy_savings,
+            success_rate_pct=point.success_rate_percent,
+            flight_energy_j=point.flight_energy_j,
+            num_missions=point.num_missions,
+        )
+
+    table.add_row(
+        mode="baseline 1V",
+        learning_steps=0,
+        voltage_vmin=tello.nominal_normalized_voltage,
+        learning_energy_j=0.0,
+        energy_savings_x=1.0,
+        success_rate_pct=baseline.success_rate_percent,
+        flight_energy_j=baseline.flight_energy_j,
+        num_missions=baseline.num_missions,
+    )
+    return table

@@ -1,0 +1,96 @@
+"""SRAM array geometry and bit-cell addressing.
+
+The profiled chips in the paper store policy parameters in banked SRAM arrays
+(the reproduced error-pattern figure shows a 125-row x 500-column section).
+Fault maps address bit cells by a flat index; :class:`SramGeometry` converts
+between that flat index and (bank, row, column) coordinates, which is what the
+column-aligned fault pattern of Table III (Chip 2) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FaultModelError
+
+
+@dataclass(frozen=True)
+class SramGeometry:
+    """Banked SRAM organisation: ``banks`` arrays of ``rows`` x ``columns`` bit cells."""
+
+    rows: int = 125
+    columns: int = 500
+    banks: int = 64
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.columns <= 0 or self.banks <= 0:
+            raise FaultModelError(
+                f"SRAM geometry must be positive, got rows={self.rows}, "
+                f"columns={self.columns}, banks={self.banks}"
+            )
+
+    @property
+    def bits_per_bank(self) -> int:
+        return self.rows * self.columns
+
+    @property
+    def total_bits(self) -> int:
+        return self.bits_per_bank * self.banks
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_bits // 8
+
+    # ------------------------------------------------------------------ addressing
+    def decompose(self, flat_index: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Convert flat bit indices into (bank, row, column) coordinates.
+
+        Cells are laid out row-major within a bank: consecutive flat indices
+        walk along a row (column fastest), then down rows, then across banks.
+        """
+        flat = np.asarray(flat_index, dtype=np.int64)
+        if flat.size and (flat.min() < 0 or flat.max() >= self.total_bits):
+            raise FaultModelError(
+                f"flat index out of range [0, {self.total_bits}) for this geometry"
+            )
+        bank = flat // self.bits_per_bank
+        within = flat % self.bits_per_bank
+        row = within // self.columns
+        column = within % self.columns
+        return bank, row, column
+
+    def compose(self, bank: np.ndarray, row: np.ndarray, column: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`decompose`."""
+        bank = np.asarray(bank, dtype=np.int64)
+        row = np.asarray(row, dtype=np.int64)
+        column = np.asarray(column, dtype=np.int64)
+        if np.any(bank < 0) or np.any(bank >= self.banks):
+            raise FaultModelError(f"bank index out of range [0, {self.banks})")
+        if np.any(row < 0) or np.any(row >= self.rows):
+            raise FaultModelError(f"row index out of range [0, {self.rows})")
+        if np.any(column < 0) or np.any(column >= self.columns):
+            raise FaultModelError(f"column index out of range [0, {self.columns})")
+        return bank * self.bits_per_bank + row * self.columns + column
+
+    def column_cells(self, bank: int, column: int) -> np.ndarray:
+        """Flat indices of every cell in one physical column of one bank."""
+        rows = np.arange(self.rows, dtype=np.int64)
+        return self.compose(np.full_like(rows, bank), rows, np.full_like(rows, column))
+
+    def geometry_for_capacity(self, required_bits: int) -> "SramGeometry":
+        """A geometry with at least ``required_bits`` cells, keeping the array shape.
+
+        Weight memories of different policy sizes (C3F2 vs C5F4) need a
+        different number of banks; the per-bank organisation stays the same.
+        """
+        if required_bits <= 0:
+            raise FaultModelError(f"required_bits must be positive, got {required_bits}")
+        banks = -(-required_bits // self.bits_per_bank)  # ceil division
+        return SramGeometry(rows=self.rows, columns=self.columns, banks=banks)
+
+
+#: Geometry matching the memory cross-section reproduced in Fig. 2 of the paper.
+DEFAULT_GEOMETRY = SramGeometry()

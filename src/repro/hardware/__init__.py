@@ -1,0 +1,33 @@
+"""Accelerator hardware models: DVFS, energy, systolic-array timing, thermals.
+
+The paper integrates SCALE-Sim (cycle counts for a systolic-array DNN
+accelerator) and Accelergy (per-component energy) with a custom low-voltage
+energy plug-in, plus a thermal model linking processor power to heatsink mass.
+This package reproduces those models analytically:
+
+* :mod:`repro.hardware.dvfs`        — supply-voltage scaling and frequency
+* :mod:`repro.hardware.systolic`    — SCALE-Sim-style cycle/access counts
+* :mod:`repro.hardware.energy`      — Accelergy-style energy per MAC/SRAM/DRAM access
+* :mod:`repro.hardware.thermal`     — TDP and heatsink-mass model
+* :mod:`repro.hardware.accelerator` — per-inference latency/energy for a policy network
+"""
+
+from repro.hardware.dvfs import VoltageScaling, DEFAULT_VOLTAGE_SCALING
+from repro.hardware.systolic import SystolicArrayConfig, LayerCost, SystolicArrayModel
+from repro.hardware.energy import EnergyModel, SramEnergyCurve
+from repro.hardware.thermal import HeatsinkModel, ThermalModel
+from repro.hardware.accelerator import AcceleratorModel, InferenceCost
+
+__all__ = [
+    "VoltageScaling",
+    "DEFAULT_VOLTAGE_SCALING",
+    "SystolicArrayConfig",
+    "LayerCost",
+    "SystolicArrayModel",
+    "EnergyModel",
+    "SramEnergyCurve",
+    "HeatsinkModel",
+    "ThermalModel",
+    "AcceleratorModel",
+    "InferenceCost",
+]

@@ -1,0 +1,65 @@
+"""Thermal design power and heatsink-mass model.
+
+Fig. 1 and Fig. 6a of the paper show that lowering the supply voltage reduces
+the accelerator's thermal design power (TDP), which in turn shrinks the
+heatsink the UAV must carry: the measured points (1.5 V -> 9.1 g,
+0.5 V -> 1.0 g on the Tello; 1.28 Vmin -> 3.26 g, 0.79 Vmin -> 1.22 g on the
+Crazyflie) all collapse onto ``mass ≈ 4.05 g/V² · V²``.  The model here keeps
+the physically meaningful chain — voltage -> TDP -> required thermal
+resistance -> heatsink mass — with constants calibrated to reproduce those
+published points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.dvfs import DEFAULT_VOLTAGE_SCALING, VoltageScaling
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Supply voltage -> thermal design power of the onboard processor."""
+
+    nominal_tdp_w: float = 2.0
+    scaling: VoltageScaling = DEFAULT_VOLTAGE_SCALING
+
+    def __post_init__(self) -> None:
+        if self.nominal_tdp_w <= 0:
+            raise ConfigurationError("nominal TDP must be positive")
+
+    def tdp_watts(self, volts: float) -> float:
+        """TDP at a supply voltage (dynamic power ∝ V², worst-case activity)."""
+        return self.nominal_tdp_w * self.scaling.energy_scale(volts)
+
+
+@dataclass(frozen=True)
+class HeatsinkModel:
+    """Heatsink mass required to dissipate the processor TDP.
+
+    ``mass_per_watt_g`` is calibrated so that the default thermal model
+    reproduces the paper's heatsink masses: 4.05 g at 1.0 V nominal TDP.
+    """
+
+    mass_per_watt_g: float = 2.025
+    minimum_mass_g: float = 0.0
+    thermal: ThermalModel = ThermalModel()
+
+    def __post_init__(self) -> None:
+        if self.mass_per_watt_g <= 0:
+            raise ConfigurationError("mass_per_watt_g must be positive")
+        if self.minimum_mass_g < 0:
+            raise ConfigurationError("minimum_mass_g must be non-negative")
+
+    def mass_from_tdp_g(self, tdp_watts: float) -> float:
+        if tdp_watts < 0:
+            raise ConfigurationError("TDP must be non-negative")
+        return max(self.minimum_mass_g, self.mass_per_watt_g * tdp_watts)
+
+    def mass_at_volts_g(self, volts: float) -> float:
+        """Heatsink mass needed at a given supply voltage (grams)."""
+        return self.mass_from_tdp_g(self.thermal.tdp_watts(volts))
+
+    def mass_at_normalized_g(self, normalized_voltage: float) -> float:
+        return self.mass_at_volts_g(self.thermal.scaling.to_volts(normalized_voltage))

@@ -1,0 +1,61 @@
+"""Loss functions for Q-learning.
+
+The paper's Algorithm 1 uses the squared temporal-difference error; Huber loss
+is also provided because it is the standard DQN choice and makes the small
+fast-profile runs noticeably more stable.  Each loss returns ``(value, grad)``
+where ``grad`` is the gradient with respect to the predictions, ready to be
+fed to ``Sequential.backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+
+def _validate(predictions: np.ndarray, targets: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ShapeError(
+            f"predictions shape {predictions.shape} does not match targets shape {targets.shape}"
+        )
+    if predictions.size == 0:
+        raise ShapeError("loss computed over an empty batch")
+    return predictions, targets
+
+
+class MSELoss:
+    """Mean squared error: ``mean((pred - target)^2)``."""
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        predictions, targets = _validate(predictions, targets)
+        diff = predictions - targets
+        value = float(np.mean(diff**2))
+        grad = (2.0 / diff.size) * diff
+        return value, grad
+
+
+class HuberLoss:
+    """Huber (smooth L1) loss with configurable transition point ``delta``."""
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {delta}")
+        self.delta = float(delta)
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        predictions, targets = _validate(predictions, targets)
+        diff = predictions - targets
+        abs_diff = np.abs(diff)
+        quadratic = abs_diff <= self.delta
+        values = np.where(
+            quadratic,
+            0.5 * diff**2,
+            self.delta * (abs_diff - 0.5 * self.delta),
+        )
+        grads = np.where(quadratic, diff, self.delta * np.sign(diff))
+        return float(np.mean(values)), grads / diff.size

@@ -1,0 +1,167 @@
+"""First-order optimizers operating on :class:`~repro.nn.layers.Parameter` lists.
+
+BERRY's Algorithm 1 performs plain stochastic gradient descent on the averaged
+clean/perturbed gradient (line 19); SGD with optional momentum is therefore
+the reference optimizer, with RMSProp and Adam available because the original
+Air-Learning DQN baselines use adaptive optimizers for faster convergence in
+small-sample regimes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Parameter
+
+
+class Optimizer:
+    """Base class: holds the parameter list and optional gradient clipping."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float, grad_clip: Optional[float] = None) -> None:
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        if grad_clip is not None and grad_clip <= 0:
+            raise ConfigurationError(f"grad_clip must be positive, got {grad_clip}")
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ConfigurationError("optimizer constructed with no parameters")
+        self.lr = float(lr)
+        self.grad_clip = grad_clip
+        self._step_count = 0
+
+    @property
+    def step_count(self) -> int:
+        return self._step_count
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def _clipped_grad(self, parameter: Parameter) -> np.ndarray:
+        if self.grad_clip is None:
+            return parameter.grad
+        return np.clip(parameter.grad, -self.grad_clip, self.grad_clip)
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def global_grad_norm(self) -> float:
+        """L2 norm of the concatenated gradient, useful for diagnostics."""
+        total = 0.0
+        for parameter in self.parameters:
+            total += float(np.sum(parameter.grad**2))
+        return float(np.sqrt(total))
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        momentum: float = 0.0,
+        grad_clip: Optional[float] = None,
+    ) -> None:
+        super().__init__(parameters, lr, grad_clip)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: List[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            grad = self._clipped_grad(parameter)
+            if self.momentum > 0.0:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            parameter.data -= self.lr * update
+
+
+class RMSProp(Optimizer):
+    """RMSProp with a running average of squared gradients."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        decay: float = 0.99,
+        epsilon: float = 1e-8,
+        grad_clip: Optional[float] = None,
+    ) -> None:
+        super().__init__(parameters, lr, grad_clip)
+        if not 0.0 < decay < 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1), got {decay}")
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+        self.decay = float(decay)
+        self.epsilon = float(epsilon)
+        self._square_avg: List[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        for parameter, square_avg in zip(self.parameters, self._square_avg):
+            grad = self._clipped_grad(parameter)
+            square_avg *= self.decay
+            square_avg += (1.0 - self.decay) * grad**2
+            parameter.data -= self.lr * grad / (np.sqrt(square_avg) + self.epsilon)
+
+
+class Adam(Optimizer):
+    """Adam optimizer with bias-corrected first/second moment estimates."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        grad_clip: Optional[float] = None,
+    ) -> None:
+        super().__init__(parameters, lr, grad_clip)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError(f"betas must be in [0, 1), got ({beta1}, {beta2})")
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._moment1: List[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
+        self._moment2: List[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1**self._step_count
+        correction2 = 1.0 - self.beta2**self._step_count
+        for parameter, moment1, moment2 in zip(self.parameters, self._moment1, self._moment2):
+            grad = self._clipped_grad(parameter)
+            moment1 *= self.beta1
+            moment1 += (1.0 - self.beta1) * grad
+            moment2 *= self.beta2
+            moment2 += (1.0 - self.beta2) * grad**2
+            corrected1 = moment1 / correction1
+            corrected2 = moment2 / correction2
+            parameter.data -= self.lr * corrected1 / (np.sqrt(corrected2) + self.epsilon)
+
+
+def build_optimizer(
+    name: str,
+    parameters: Sequence[Parameter],
+    lr: float,
+    grad_clip: Optional[float] = None,
+    **kwargs: float,
+) -> Optimizer:
+    """Factory used by training configurations (``"sgd"``, ``"rmsprop"``, ``"adam"``)."""
+    registry = {"sgd": SGD, "rmsprop": RMSProp, "adam": Adam}
+    key = name.lower()
+    if key not in registry:
+        raise ConfigurationError(f"unknown optimizer {name!r}; expected one of {sorted(registry)}")
+    return registry[key](parameters, lr=lr, grad_clip=grad_clip, **kwargs)

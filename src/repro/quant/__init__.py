@@ -1,0 +1,26 @@
+"""Fixed-point quantization of policy parameters.
+
+On the accelerator modelled in the paper, weights and activations are stored
+in on-chip SRAM as per-layer 8-bit fixed-point values; low-voltage bit errors
+therefore act on the quantized integer codes, not on float32 values.  This
+package provides the quantize/dequantize machinery that the fault-injection
+operator (:mod:`repro.faults.injection`) is built on.
+"""
+
+from repro.quant.qtensor import QuantizedTensor
+from repro.quant.fixed_point import (
+    QuantizationConfig,
+    dequantize,
+    quantize,
+    quantize_state_dict,
+    dequantize_state_dict,
+)
+
+__all__ = [
+    "QuantizedTensor",
+    "QuantizationConfig",
+    "quantize",
+    "dequantize",
+    "quantize_state_dict",
+    "dequantize_state_dict",
+]

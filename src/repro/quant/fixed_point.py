@@ -1,0 +1,112 @@
+"""Per-layer symmetric fixed-point quantization with rounding.
+
+The paper (Sec. IV, "Fault injection") quantizes each layer's parameters to
+8-bit fixed point with rounding before injecting bit errors, mirroring how the
+accelerator stores weights in its on-chip SRAM.  The scale of each layer is
+chosen from the maximum absolute value in that layer (symmetric, zero-point
+free), matching the scheme used by Stutz et al. (MLSys'21) whose profiled
+chips are reused here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.qtensor import QuantizedTensor
+
+
+@dataclass(frozen=True)
+class QuantizationConfig:
+    """Quantization settings shared by training-time injection and deployment.
+
+    ``bits``       — word width of the stored codes (8 in the paper).
+    ``per_layer``  — one scale per parameter tensor (True) or one global scale.
+    ``clip_quantile`` — optional robust clipping: the scale is taken from this
+    quantile of ``|w|`` instead of the maximum, which limits the damage a
+    single outlier weight can do to the resolution of a whole layer.
+    """
+
+    bits: int = 8
+    per_layer: bool = True
+    clip_quantile: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bits < 2 or self.bits > 16:
+            raise QuantizationError(f"bits must be in [2, 16], got {self.bits}")
+        if not 0.0 < self.clip_quantile <= 1.0:
+            raise QuantizationError(
+                f"clip_quantile must be in (0, 1], got {self.clip_quantile}"
+            )
+
+
+def _scale_for(values: np.ndarray, config: QuantizationConfig) -> float:
+    """Choose the quantization scale for one tensor."""
+    magnitudes = np.abs(values)
+    if magnitudes.size == 0:
+        raise QuantizationError("cannot quantize an empty array")
+    if config.clip_quantile >= 1.0:
+        max_abs = float(magnitudes.max())
+    else:
+        max_abs = float(np.quantile(magnitudes, config.clip_quantile))
+    if max_abs == 0.0 or not np.isfinite(max_abs):
+        # All-zero (or degenerate) tensors still need a valid scale; the codes
+        # will all be zero so the actual value does not matter.
+        max_abs = 1.0
+    return max_abs / float(2 ** (config.bits - 1) - 1)
+
+
+def quantize(values: np.ndarray, config: QuantizationConfig = QuantizationConfig()) -> QuantizedTensor:
+    """Quantize a floating-point array to signed fixed-point codes."""
+    values = np.asarray(values, dtype=np.float64)
+    if not np.all(np.isfinite(values)):
+        raise QuantizationError("cannot quantize an array containing NaN or infinity")
+    scale = _scale_for(values, config)
+    low, high = -(2 ** (config.bits - 1)), 2 ** (config.bits - 1) - 1
+    codes = np.clip(np.round(values / scale), low, high).astype(np.int32)
+    return QuantizedTensor(codes=codes, scale=scale, bits=config.bits)
+
+
+def dequantize(tensor: QuantizedTensor) -> np.ndarray:
+    """Reconstruct floating-point values from a quantized tensor."""
+    return tensor.dequantize()
+
+
+def quantization_step(values: np.ndarray, config: QuantizationConfig = QuantizationConfig()) -> float:
+    """The value of one least-significant bit for the given tensor."""
+    return _scale_for(np.asarray(values, dtype=np.float64), config)
+
+
+def quantize_state_dict(
+    state: Mapping[str, np.ndarray], config: QuantizationConfig = QuantizationConfig()
+) -> Dict[str, QuantizedTensor]:
+    """Quantize every parameter tensor of a network state dict.
+
+    With ``per_layer=False`` a single scale derived from the concatenation of
+    all parameters is used for every tensor.
+    """
+    if config.per_layer:
+        return {name: quantize(values, config) for name, values in state.items()}
+    flat = np.concatenate([np.asarray(v, dtype=np.float64).ravel() for v in state.values()])
+    scale = _scale_for(flat, config)
+    low, high = -(2 ** (config.bits - 1)), 2 ** (config.bits - 1) - 1
+    quantized: Dict[str, QuantizedTensor] = {}
+    for name, values in state.items():
+        codes = np.clip(np.round(np.asarray(values, dtype=np.float64) / scale), low, high)
+        quantized[name] = QuantizedTensor(codes=codes.astype(np.int32), scale=scale, bits=config.bits)
+    return quantized
+
+
+def dequantize_state_dict(quantized: Mapping[str, QuantizedTensor]) -> Dict[str, np.ndarray]:
+    """Reconstruct a float state dict from quantized tensors."""
+    return {name: tensor.dequantize() for name, tensor in quantized.items()}
+
+
+def quantization_round_trip(
+    state: Mapping[str, np.ndarray], config: QuantizationConfig = QuantizationConfig()
+) -> Dict[str, np.ndarray]:
+    """Quantize then dequantize a state dict (the error-free deployment view)."""
+    return dequantize_state_dict(quantize_state_dict(state, config))

@@ -1,0 +1,108 @@
+"""Quantized tensor representation.
+
+A :class:`QuantizedTensor` stores the integer codes produced by symmetric
+fixed-point quantization together with the scale needed to reconstruct the
+floating-point values.  The codes are kept as signed integers; helpers are
+provided to view them as unsigned bit patterns (two's complement) because the
+SRAM fault model flips physical bits of the stored words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+@dataclass
+class QuantizedTensor:
+    """Integer codes plus the scale of a symmetric fixed-point quantization."""
+
+    codes: np.ndarray
+    scale: float
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 2 or self.bits > 16:
+            raise QuantizationError(f"bits must be in [2, 16], got {self.bits}")
+        if self.scale <= 0 or not np.isfinite(self.scale):
+            raise QuantizationError(f"scale must be positive and finite, got {self.scale}")
+        self.codes = np.asarray(self.codes, dtype=np.int32)
+        low, high = self.code_range
+        if self.codes.size and (self.codes.min() < low or self.codes.max() > high):
+            raise QuantizationError(
+                f"codes outside the representable range [{low}, {high}] for {self.bits} bits"
+            )
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.codes.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.codes.size)
+
+    @property
+    def num_bits_total(self) -> int:
+        """Total number of physical bits occupied by this tensor."""
+        return self.size * self.bits
+
+    @property
+    def code_range(self) -> Tuple[int, int]:
+        """Inclusive (min, max) representable signed code values."""
+        return (-(2 ** (self.bits - 1)), 2 ** (self.bits - 1) - 1)
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct floating-point values."""
+        return self.codes.astype(np.float64) * self.scale
+
+    # ----------------------------------------------------------------- bit-level views
+    def to_unsigned(self) -> np.ndarray:
+        """Two's-complement view of the codes as unsigned integers in [0, 2^bits)."""
+        modulus = 1 << self.bits
+        return np.mod(self.codes, modulus).astype(np.int64)
+
+    @classmethod
+    def from_unsigned(cls, unsigned: np.ndarray, scale: float, bits: int) -> "QuantizedTensor":
+        """Rebuild a tensor from unsigned two's-complement words."""
+        unsigned = np.asarray(unsigned, dtype=np.int64)
+        modulus = 1 << bits
+        if unsigned.size and (unsigned.min() < 0 or unsigned.max() >= modulus):
+            raise QuantizationError(
+                f"unsigned words must be in [0, {modulus}), got range "
+                f"[{unsigned.min()}, {unsigned.max()}]"
+            )
+        half = 1 << (bits - 1)
+        signed = np.where(unsigned >= half, unsigned - modulus, unsigned)
+        return cls(codes=signed.astype(np.int32), scale=scale, bits=bits)
+
+    def to_bitplanes(self) -> np.ndarray:
+        """Boolean array of shape ``codes.shape + (bits,)``, LSB first."""
+        unsigned = self.to_unsigned()
+        planes = np.zeros(self.codes.shape + (self.bits,), dtype=bool)
+        for bit in range(self.bits):
+            planes[..., bit] = (unsigned >> bit) & 1
+        return planes
+
+    @classmethod
+    def from_bitplanes(cls, planes: np.ndarray, scale: float, bits: int) -> "QuantizedTensor":
+        """Inverse of :meth:`to_bitplanes`."""
+        planes = np.asarray(planes, dtype=bool)
+        if planes.shape[-1] != bits:
+            raise QuantizationError(
+                f"last axis of bit planes must equal bits={bits}, got {planes.shape[-1]}"
+            )
+        unsigned = np.zeros(planes.shape[:-1], dtype=np.int64)
+        for bit in range(bits):
+            unsigned |= planes[..., bit].astype(np.int64) << bit
+        return cls.from_unsigned(unsigned, scale=scale, bits=bits)
+
+    def copy(self) -> "QuantizedTensor":
+        return QuantizedTensor(codes=self.codes.copy(), scale=self.scale, bits=self.bits)
+
+    def quantization_error(self, original: np.ndarray) -> float:
+        """Maximum absolute reconstruction error against the original array."""
+        return float(np.max(np.abs(self.dequantize() - np.asarray(original, dtype=np.float64))))

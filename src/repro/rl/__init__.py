@@ -1,0 +1,35 @@
+"""Reinforcement-learning substrate: replay buffer, schedules, DQN, evaluation.
+
+The paper's autonomy policies are Deep Q-Networks trained with experience
+replay and a periodically synchronised target network (Sec. II-A and
+Algorithm 1 lines 2-13).  :class:`~repro.rl.dqn.DqnTrainer` implements that
+classical baseline; the BERRY error-aware trainer in :mod:`repro.core.berry`
+extends it with the perturbed gradient pass.
+"""
+
+from repro.rl.replay_buffer import ReplayBuffer, Transition
+from repro.rl.schedules import ConstantSchedule, ExponentialDecay, LinearDecay
+from repro.rl.dqn import DqnConfig, DqnTrainer, TrainingHistory
+from repro.rl.evaluation import (
+    PolicyEvaluation,
+    RobustnessPoint,
+    evaluate_policy,
+    evaluate_under_faults,
+    greedy_policy,
+)
+
+__all__ = [
+    "ReplayBuffer",
+    "Transition",
+    "ConstantSchedule",
+    "LinearDecay",
+    "ExponentialDecay",
+    "DqnConfig",
+    "DqnTrainer",
+    "TrainingHistory",
+    "PolicyEvaluation",
+    "RobustnessPoint",
+    "evaluate_policy",
+    "evaluate_under_faults",
+    "greedy_policy",
+]

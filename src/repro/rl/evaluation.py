@@ -1,0 +1,176 @@
+"""Policy evaluation, with and without injected bit errors.
+
+The paper evaluates every operating point over many persistent fault maps
+(500 per point at full scale) and reports the average task success rate and
+path statistics.  :func:`evaluate_under_faults` reproduces that protocol: for
+each fault map the deployed (quantized) policy parameters are corrupted once,
+the corrupted policy flies a batch of missions, and the per-map success rates
+are averaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.envs.navigation import NavigationEnv
+from repro.envs.vector import EpisodeResult, run_episodes, success_rate
+from repro.faults.fault_map import FaultMap
+from repro.faults.injection import BitErrorInjector
+from repro.nn.network import Sequential
+from repro.quant.fixed_point import QuantizationConfig
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
+
+PolicyFn = Callable[[np.ndarray], int]
+
+
+def greedy_policy(network: Sequential) -> PolicyFn:
+    """Wrap a Q-network into a greedy policy callable."""
+
+    def policy(observation: np.ndarray) -> int:
+        q_values = network.forward(observation[np.newaxis, ...])
+        return int(np.argmax(q_values[0]))
+
+    return policy
+
+
+@dataclass(frozen=True)
+class PolicyEvaluation:
+    """Aggregate statistics of a batch of evaluation episodes."""
+
+    num_episodes: int
+    success_rate: float
+    collision_rate: float
+    mean_steps: float
+    mean_path_length_m: float
+    mean_reward: float
+
+    @classmethod
+    def from_results(cls, results: Sequence[EpisodeResult]) -> "PolicyEvaluation":
+        if not results:
+            raise ValueError("cannot summarise an empty list of episode results")
+        successful = [r for r in results if r.success]
+        path_lengths = [r.path_length_m for r in (successful or results)]
+        return cls(
+            num_episodes=len(results),
+            success_rate=success_rate(results),
+            collision_rate=sum(1 for r in results if r.collision) / len(results),
+            mean_steps=float(np.mean([r.steps for r in results])),
+            mean_path_length_m=float(np.mean(path_lengths)),
+            mean_reward=float(np.mean([r.total_reward for r in results])),
+        )
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """Evaluation of one policy at one bit-error rate, averaged over fault maps."""
+
+    ber_percent: float
+    num_fault_maps: int
+    episodes_per_map: int
+    success_rate: float
+    success_rate_std: float
+    mean_path_length_m: float
+    per_map_success_rates: tuple
+
+    @property
+    def success_rate_percent(self) -> float:
+        return 100.0 * self.success_rate
+
+
+def evaluate_policy(
+    env: NavigationEnv,
+    network: Sequential,
+    num_episodes: int = 20,
+    rng: SeedLike = 0,
+) -> PolicyEvaluation:
+    """Evaluate a (float, error-free) policy network greedily over many episodes."""
+    results = run_episodes(env, greedy_policy(network), num_episodes, rng=rng)
+    return PolicyEvaluation.from_results(results)
+
+
+def evaluate_under_faults(
+    env: NavigationEnv,
+    network: Sequential,
+    ber_percent: float,
+    num_fault_maps: int = 10,
+    episodes_per_map: int = 5,
+    quantization: QuantizationConfig = QuantizationConfig(),
+    fault_maps: Optional[Sequence[FaultMap]] = None,
+    stuck_at_1_bias: float = 0.5,
+    rng: SeedLike = 0,
+) -> RobustnessPoint:
+    """Evaluate the deployed policy under persistent bit errors.
+
+    For each fault map, the policy parameters are quantized, corrupted once and
+    the corrupted policy flies ``episodes_per_map`` missions; success rates are
+    averaged over maps, mirroring the paper's 500-fault-map protocol.
+    ``fault_maps`` overrides the random-map sampling (used for the profiled
+    chips of Table III and for on-device evaluation at a fixed map).
+    """
+    injector = BitErrorInjector.for_network(network, quantization)
+    map_rng, episode_rng = spawn_generators(rng, 2)
+    if fault_maps is None:
+        maps: List[FaultMap] = [
+            FaultMap.random(
+                injector.memory_bits,
+                ber_percent / 100.0,
+                rng=map_rng,
+                stuck_at_1_bias=stuck_at_1_bias,
+                label=f"eval-map-{index}",
+            )
+            for index in range(num_fault_maps)
+        ]
+    else:
+        maps = list(fault_maps)
+    if not maps:
+        raise ValueError("at least one fault map is required")
+
+    per_map_success: List[float] = []
+    per_map_paths: List[float] = []
+    for fault_map in maps:
+        perturbed = injector.perturb_network(network, fault_map)
+        results = run_episodes(
+            env, greedy_policy(perturbed), episodes_per_map, rng=episode_rng
+        )
+        per_map_success.append(success_rate(results))
+        successful = [r for r in results if r.success]
+        reference = successful or results
+        per_map_paths.append(float(np.mean([r.path_length_m for r in reference])))
+
+    return RobustnessPoint(
+        ber_percent=ber_percent,
+        num_fault_maps=len(maps),
+        episodes_per_map=episodes_per_map,
+        success_rate=float(np.mean(per_map_success)),
+        success_rate_std=float(np.std(per_map_success)),
+        mean_path_length_m=float(np.mean(per_map_paths)),
+        per_map_success_rates=tuple(per_map_success),
+    )
+
+
+def robustness_curve(
+    env: NavigationEnv,
+    network: Sequential,
+    ber_percentages: Sequence[float],
+    num_fault_maps: int = 10,
+    episodes_per_map: int = 5,
+    quantization: QuantizationConfig = QuantizationConfig(),
+    rng: SeedLike = 0,
+) -> Dict[float, RobustnessPoint]:
+    """Success rate vs bit-error rate (the x-axis sweep of Fig. 3 / Table I)."""
+    generators = spawn_generators(rng, len(ber_percentages))
+    curve: Dict[float, RobustnessPoint] = {}
+    for ber, generator in zip(ber_percentages, generators):
+        curve[float(ber)] = evaluate_under_faults(
+            env,
+            network,
+            ber_percent=float(ber),
+            num_fault_maps=num_fault_maps,
+            episodes_per_map=episodes_per_map,
+            quantization=quantization,
+            rng=generator,
+        )
+    return curve

@@ -1,0 +1,105 @@
+"""Experience replay buffer.
+
+Algorithm 1 (line 8-10) stores every transition ``(s_t, a_t, r_t, s_{t+1})``
+in a replay memory ``D`` and samples uniform mini-batches from it for both the
+clean and the perturbed training passes.  The buffer is a fixed-capacity ring
+of pre-allocated numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A mini-batch of transitions sampled from the replay buffer."""
+
+    observations: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    next_observations: np.ndarray
+    dones: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.actions.shape[0])
+
+
+class ReplayBuffer:
+    """Fixed-capacity uniform-sampling replay memory."""
+
+    def __init__(self, capacity: int, observation_shape: Tuple[int, ...]) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        observation_shape = tuple(int(dim) for dim in observation_shape)
+        if not observation_shape or any(dim <= 0 for dim in observation_shape):
+            raise ConfigurationError(f"invalid observation shape {observation_shape}")
+        self.capacity = capacity
+        self.observation_shape = observation_shape
+        self._observations = np.zeros((capacity,) + observation_shape, dtype=np.float64)
+        self._next_observations = np.zeros((capacity,) + observation_shape, dtype=np.float64)
+        self._actions = np.zeros(capacity, dtype=np.int64)
+        self._rewards = np.zeros(capacity, dtype=np.float64)
+        self._dones = np.zeros(capacity, dtype=np.float64)
+        self._cursor = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        return self._size == self.capacity
+
+    def add(
+        self,
+        observation: np.ndarray,
+        action: int,
+        reward: float,
+        next_observation: np.ndarray,
+        done: bool,
+    ) -> None:
+        """Append one transition, overwriting the oldest entry when full."""
+        observation = np.asarray(observation, dtype=np.float64)
+        next_observation = np.asarray(next_observation, dtype=np.float64)
+        if observation.shape != self.observation_shape or next_observation.shape != self.observation_shape:
+            raise ConfigurationError(
+                f"observation shape {observation.shape} does not match buffer shape "
+                f"{self.observation_shape}"
+            )
+        index = self._cursor
+        self._observations[index] = observation
+        self._next_observations[index] = next_observation
+        self._actions[index] = int(action)
+        self._rewards[index] = float(reward)
+        self._dones[index] = 1.0 if done else 0.0
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int, rng: SeedLike = None) -> Transition:
+        """Sample a uniform mini-batch (with replacement across calls, without within a call)."""
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        if self._size == 0:
+            raise ConfigurationError("cannot sample from an empty replay buffer")
+        generator = as_generator(rng)
+        replace = batch_size > self._size
+        indices = generator.choice(self._size, size=batch_size, replace=replace)
+        return Transition(
+            observations=self._observations[indices].copy(),
+            actions=self._actions[indices].copy(),
+            rewards=self._rewards[indices].copy(),
+            next_observations=self._next_observations[indices].copy(),
+            dones=self._dones[indices].copy(),
+        )
+
+    def clear(self) -> None:
+        self._cursor = 0
+        self._size = 0

@@ -1,0 +1,73 @@
+"""Exploration-rate schedules for epsilon-greedy action selection."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class Schedule:
+    """Maps a global step index to a value (exploration rate)."""
+
+    def value(self, step: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, step: int) -> float:
+        if step < 0:
+            raise ConfigurationError(f"step must be non-negative, got {step}")
+        return self.value(step)
+
+
+@dataclass(frozen=True)
+class ConstantSchedule(Schedule):
+    """A constant value for every step."""
+
+    constant: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.constant <= 1.0:
+            raise ConfigurationError(f"constant must be in [0, 1], got {self.constant}")
+
+    def value(self, step: int) -> float:
+        return self.constant
+
+
+@dataclass(frozen=True)
+class LinearDecay(Schedule):
+    """Linear interpolation from ``start`` to ``end`` over ``decay_steps`` steps."""
+
+    start: float = 1.0
+    end: float = 0.05
+    decay_steps: int = 5000
+
+    def __post_init__(self) -> None:
+        for name, value in (("start", self.start), ("end", self.end)):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if self.decay_steps <= 0:
+            raise ConfigurationError(f"decay_steps must be positive, got {self.decay_steps}")
+
+    def value(self, step: int) -> float:
+        fraction = min(1.0, step / self.decay_steps)
+        return self.start + fraction * (self.end - self.start)
+
+
+@dataclass(frozen=True)
+class ExponentialDecay(Schedule):
+    """Exponential decay from ``start`` towards ``end`` with time constant ``decay_steps``."""
+
+    start: float = 1.0
+    end: float = 0.05
+    decay_steps: int = 2000
+
+    def __post_init__(self) -> None:
+        for name, value in (("start", self.start), ("end", self.end)):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if self.decay_steps <= 0:
+            raise ConfigurationError(f"decay_steps must be positive, got {self.decay_steps}")
+
+    def value(self, step: int) -> float:
+        return self.end + (self.start - self.end) * math.exp(-step / self.decay_steps)

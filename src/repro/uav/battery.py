@@ -1,0 +1,79 @@
+"""Battery model: missions per charge.
+
+The paper's "number of missions" metric counts how many missions the UAV can
+*successfully* complete on a single battery charge:
+
+    N = SR × E_battery / E_flight
+
+where ``SR`` is the task success rate, ``E_battery`` the usable battery energy
+and ``E_flight`` the single-mission flight energy.  The Crazyflie's 3330 J
+battery and 53.19 J missions give the paper's 55.35 missions at 1 V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.uav.platform import UavPlatform
+
+
+def missions_per_charge(
+    success_rate: float, battery_capacity_j: float, flight_energy_j: float
+) -> float:
+    """Expected number of successful missions per battery charge."""
+    if not 0.0 <= success_rate <= 1.0:
+        raise ConfigurationError(f"success_rate must be in [0, 1], got {success_rate}")
+    if battery_capacity_j <= 0:
+        raise ConfigurationError(f"battery capacity must be positive, got {battery_capacity_j}")
+    if flight_energy_j <= 0:
+        raise ConfigurationError(f"flight energy must be positive, got {flight_energy_j}")
+    return success_rate * battery_capacity_j / flight_energy_j
+
+
+@dataclass
+class Battery:
+    """A battery with a usable energy budget that can be drawn down."""
+
+    capacity_j: float
+    remaining_j: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_j <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {self.capacity_j}")
+        if self.remaining_j < 0:
+            self.remaining_j = self.capacity_j
+        if self.remaining_j > self.capacity_j:
+            raise ConfigurationError("remaining energy cannot exceed capacity")
+
+    @classmethod
+    def for_platform(cls, platform: UavPlatform) -> "Battery":
+        return cls(capacity_j=platform.battery_capacity_j)
+
+    @property
+    def state_of_charge(self) -> float:
+        return self.remaining_j / self.capacity_j
+
+    def can_fly(self, flight_energy_j: float) -> bool:
+        return self.remaining_j >= flight_energy_j
+
+    def draw(self, energy_j: float) -> float:
+        """Consume ``energy_j`` joules; returns the remaining energy.
+
+        Raises :class:`ConfigurationError` if more energy is requested than remains.
+        """
+        if energy_j < 0:
+            raise ConfigurationError(f"energy draw must be non-negative, got {energy_j}")
+        if energy_j > self.remaining_j:
+            raise ConfigurationError(
+                f"battery has {self.remaining_j:.1f} J left but {energy_j:.1f} J was requested"
+            )
+        self.remaining_j -= energy_j
+        return self.remaining_j
+
+    def recharge(self) -> None:
+        self.remaining_j = self.capacity_j
+
+    def missions_possible(self, success_rate: float, flight_energy_j: float) -> float:
+        """Missions completable starting from the current state of charge."""
+        return missions_per_charge(success_rate, self.remaining_j, flight_energy_j)

@@ -1,0 +1,69 @@
+"""UAV motion dynamics: payload -> acceleration -> maximum safe velocity.
+
+Fig. 6b/6c of the paper (and the "visual performance model" it builds on)
+relate the vehicle's net acceleration budget to the payload it carries and to
+the highest velocity at which it can still stop within its obstacle-sensing
+range:
+
+* acceleration  ``a = T / m − g``  (thrust-limited vertical/longitudinal budget),
+* safe velocity ``v = sqrt(2 · a · d_stop)`` where ``d_stop`` is the distance
+  within which an obstacle must be avoidable (sensing range minus reaction
+  distance).
+
+The published points — e.g. 1.22 g payload -> 7.56 m/s², 3.26 g -> 6.37 m/s²
+and 6.17 m/s² -> 4.91 m/s, 7.56 m/s² -> 5.43 m/s — are reproduced with a
+stopping distance of 1.95 m.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.uav.platform import UavPlatform
+
+GRAVITY_M_S2 = 9.81
+
+
+@dataclass(frozen=True)
+class UavDynamics:
+    """Kinematic model of one platform carrying a processor payload."""
+
+    platform: UavPlatform
+    stopping_distance_m: float = 1.95
+
+    def __post_init__(self) -> None:
+        if self.stopping_distance_m <= 0:
+            raise ConfigurationError(
+                f"stopping distance must be positive, got {self.stopping_distance_m}"
+            )
+
+    def acceleration_m_s2(self, payload_g: float) -> float:
+        """Net acceleration budget ``T/m − g`` for a given payload (grams)."""
+        mass_kg = self.platform.total_mass_kg(payload_g)
+        acceleration = self.platform.max_thrust_n / mass_kg - GRAVITY_M_S2
+        if acceleration <= 0:
+            raise ConfigurationError(
+                f"{self.platform.name} cannot lift a payload of {payload_g:.2f} g "
+                f"(thrust {self.platform.max_thrust_n} N)"
+            )
+        return acceleration
+
+    def max_safe_velocity_m_s(self, payload_g: float) -> float:
+        """Highest velocity from which the UAV can stop within its sensing range."""
+        acceleration = self.acceleration_m_s2(payload_g)
+        return math.sqrt(2.0 * acceleration * self.stopping_distance_m)
+
+    def velocity_from_acceleration(self, acceleration_m_s2: float) -> float:
+        """Safe velocity for a given acceleration budget (Fig. 6c relationship)."""
+        if acceleration_m_s2 <= 0:
+            raise ConfigurationError(
+                f"acceleration must be positive, got {acceleration_m_s2}"
+            )
+        return math.sqrt(2.0 * acceleration_m_s2 * self.stopping_distance_m)
+
+    def max_payload_g(self) -> float:
+        """Largest payload that still leaves a positive acceleration budget."""
+        hover_limit_g = self.platform.max_thrust_n / GRAVITY_M_S2 * 1e3 - self.platform.base_mass_g
+        return min(self.platform.max_payload_g, max(hover_limit_g, 0.0))

@@ -1,0 +1,130 @@
+"""Flight time, rotor power and flight energy for a single navigation mission.
+
+Table II of the paper decomposes a mission as follows: the UAV flies a path of
+roughly the nominal start-to-goal distance (longer when bit errors cause
+detours), at an average velocity proportional to the maximum safe velocity,
+plus a fixed per-mission overhead (takeoff, landing, goal confirmation).
+Roughly 95 % of the energy is consumed by the rotors, whose power follows the
+induced-power law P ∝ m^1.5; the rest is the onboard processor.
+
+The calibration constants (velocity efficiency 0.756, 2.72 s overhead, detour
+polynomial) reproduce the flight-time and flight-distance columns of Table II;
+see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.uav.dynamics import UavDynamics
+from repro.uav.platform import UavPlatform
+
+
+def detour_factor(success_rate_drop_pct: float) -> float:
+    """Path-length inflation caused by corrupted (sub-optimal) flight actions.
+
+    ``success_rate_drop_pct`` is the drop in task success rate, in percentage
+    points, relative to the error-free policy; the quadratic fit reproduces
+    the flight-distance column of Table II (e.g. a 38-point drop gives a
+    ~1.65x longer path).
+    """
+    if success_rate_drop_pct < 0:
+        success_rate_drop_pct = 0.0
+    return 1.0 + 0.0235 * success_rate_drop_pct - 1.7e-4 * success_rate_drop_pct**2
+
+
+@dataclass(frozen=True)
+class FlightOutcome:
+    """Quality-of-flight metrics for a single mission at one operating point."""
+
+    payload_g: float
+    acceleration_m_s2: float
+    max_velocity_m_s: float
+    average_velocity_m_s: float
+    flight_distance_m: float
+    flight_time_s: float
+    rotor_power_w: float
+    compute_power_w: float
+    flight_energy_j: float
+
+    @property
+    def total_power_w(self) -> float:
+        return self.rotor_power_w + self.compute_power_w
+
+    @property
+    def compute_power_fraction(self) -> float:
+        return self.compute_power_w / self.total_power_w
+
+
+@dataclass(frozen=True)
+class FlightModel:
+    """Mission-level flight model for one UAV platform.
+
+    ``velocity_efficiency`` is the ratio of average to maximum safe velocity
+    over a cluttered mission (acceleration, turns, yawing at waypoints);
+    ``mission_overhead_s`` is the fixed per-mission time not spent translating
+    (takeoff, goal confirmation, landing).
+    """
+
+    platform: UavPlatform
+    dynamics: Optional[UavDynamics] = None
+    velocity_efficiency: float = 0.756
+    mission_overhead_s: float = 2.72
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.velocity_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"velocity_efficiency must be in (0, 1], got {self.velocity_efficiency}"
+            )
+        if self.mission_overhead_s < 0:
+            raise ConfigurationError(
+                f"mission_overhead_s must be non-negative, got {self.mission_overhead_s}"
+            )
+        if self.dynamics is None:
+            object.__setattr__(self, "dynamics", UavDynamics(self.platform))
+
+    # ------------------------------------------------------------------ mission model
+    def fly_mission(
+        self,
+        payload_g: float,
+        compute_power_w: float,
+        nominal_distance_m: Optional[float] = None,
+        success_rate_drop_pct: float = 0.0,
+    ) -> FlightOutcome:
+        """Simulate one mission and return its quality-of-flight metrics.
+
+        ``success_rate_drop_pct`` models the path detours caused by corrupted
+        policy actions (Sec. III, "Flight time"): the flown distance is the
+        nominal distance inflated by :func:`detour_factor`.
+        """
+        if compute_power_w < 0:
+            raise ConfigurationError(f"compute power must be non-negative, got {compute_power_w}")
+        distance = nominal_distance_m if nominal_distance_m is not None else self.platform.mission_distance_m
+        if distance <= 0:
+            raise ConfigurationError(f"mission distance must be positive, got {distance}")
+        assert self.dynamics is not None
+        acceleration = self.dynamics.acceleration_m_s2(payload_g)
+        max_velocity = self.dynamics.max_safe_velocity_m_s(payload_g)
+        average_velocity = self.velocity_efficiency * max_velocity
+        flown_distance = distance * detour_factor(success_rate_drop_pct)
+        flight_time = self.mission_overhead_s + flown_distance / average_velocity
+        rotor_power = self.platform.rotor_power_w(payload_g)
+        flight_energy = (rotor_power + compute_power_w) * flight_time
+        return FlightOutcome(
+            payload_g=payload_g,
+            acceleration_m_s2=acceleration,
+            max_velocity_m_s=max_velocity,
+            average_velocity_m_s=average_velocity,
+            flight_distance_m=flown_distance,
+            flight_time_s=flight_time,
+            rotor_power_w=rotor_power,
+            compute_power_w=compute_power_w,
+            flight_energy_j=flight_energy,
+        )
+
+    def max_flight_time_s(self, payload_g: float, compute_power_w: float) -> float:
+        """Endurance on a full battery at constant cruise power."""
+        power = self.platform.rotor_power_w(payload_g) + compute_power_w
+        return self.platform.battery_capacity_j / power

@@ -1,0 +1,42 @@
+"""Thin wrapper over :mod:`logging` with a library-wide namespace.
+
+The library never configures the root logger; applications decide where the
+output goes.  :func:`get_logger` simply namespaces every logger under
+``repro.`` and installs a ``NullHandler`` so importing the library stays
+silent by default, as recommended for reusable packages.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_LIBRARY_ROOT = "repro"
+
+logging.getLogger(_LIBRARY_ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger below the ``repro`` namespace.
+
+    ``get_logger("rl.dqn")`` and ``get_logger("repro.rl.dqn")`` return the
+    same logger object.
+    """
+    if name == _LIBRARY_ROOT or name.startswith(_LIBRARY_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_ROOT}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a simple console handler to the library root logger.
+
+    Intended for examples and benchmark scripts; returns the handler so a
+    caller can remove it again.
+    """
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+    )
+    root = logging.getLogger(_LIBRARY_ROOT)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

@@ -1,0 +1,120 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library (weight initialization, environment
+obstacle placement, epsilon-greedy exploration, fault-map sampling) accepts
+either an integer seed or a :class:`numpy.random.Generator`.  The helpers here
+normalise those inputs and derive independent child generators so that, for
+example, changing the number of fault maps evaluated does not perturb the
+training stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    ``None`` produces a non-deterministic generator, an ``int`` or
+    ``SeedSequence`` produces a deterministic one, and an existing generator
+    is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from one seed."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(count)]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+class RngFactory:
+    """Produces named, reproducible random streams from one root seed.
+
+    The same ``(root_seed, name)`` pair always yields the same stream, which
+    keeps independent subsystems (environment, agent, fault injection)
+    decoupled: consuming more randomness in one stream never shifts another.
+    """
+
+    def __init__(self, root_seed: Optional[int] = 0) -> None:
+        self._root_seed = root_seed
+        self._counters: dict[str, int] = {}
+
+    @property
+    def root_seed(self) -> Optional[int]:
+        return self._root_seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return a fresh generator for ``name`` (new call -> new stream)."""
+        index = self._counters.get(name, 0)
+        self._counters[name] = index + 1
+        return self._derive(name, index)
+
+    def fixed_stream(self, name: str) -> np.random.Generator:
+        """Return the same generator stream every time for ``name``."""
+        return self._derive(name, 0)
+
+    def _derive(self, name: str, index: int) -> np.random.Generator:
+        entropy: Sequence[int] = [hash(name) & 0xFFFFFFFF, index]
+        if self._root_seed is None:
+            seq = np.random.SeedSequence(spawn_key=tuple(entropy))
+        else:
+            seq = np.random.SeedSequence(self._root_seed, spawn_key=tuple(entropy))
+        return np.random.default_rng(seq)
+
+    def seeds(self, name: str, count: int) -> list[int]:
+        """Return ``count`` deterministic integer seeds for external use."""
+        rng = self.fixed_stream(name)
+        return [int(s) for s in rng.integers(0, 2**31 - 1, size=count)]
+
+
+def choice_without_replacement(
+    rng: np.random.Generator, population: int, size: int
+) -> np.ndarray:
+    """Sample ``size`` distinct indices from ``range(population)``.
+
+    Uses Floyd's algorithm when ``size`` is much smaller than ``population``
+    to avoid materialising a full permutation (fault maps over multi-megabit
+    memories sample a tiny fraction of all bit cells).
+    """
+    if size > population:
+        raise ValueError(f"cannot sample {size} items from population of {population}")
+    if size == 0:
+        return np.empty(0, dtype=np.int64)
+    if size > population // 8:
+        return rng.permutation(population)[:size].astype(np.int64)
+    selected: set[int] = set()
+    result = np.empty(size, dtype=np.int64)
+    count = 0
+    while count < size:
+        needed = size - count
+        candidates = rng.integers(0, population, size=needed * 2)
+        for value in candidates:
+            value = int(value)
+            if value not in selected:
+                selected.add(value)
+                result[count] = value
+                count += 1
+                if count == size:
+                    break
+    return result
+
+
+def iter_seeds(seed: SeedLike, count: int) -> Iterable[int]:
+    """Yield ``count`` integer seeds derived deterministically from ``seed``."""
+    rng = as_generator(seed)
+    for _ in range(count):
+        yield int(rng.integers(0, 2**31 - 1))

@@ -1,0 +1,60 @@
+"""JSON (de)serialization helpers for experiment results and configurations.
+
+Everything the experiment harness produces (tables, sweep results, metric
+records) is plain data; these helpers convert numpy scalars/arrays and
+dataclasses into JSON-compatible structures so results can be written to disk
+and diffed between runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serialisable builtins."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, Path):
+        return str(value)
+    raise TypeError(f"cannot convert {type(value).__name__} to a JSON-serialisable value")
+
+
+def save_json(path: PathLike, value: Any, indent: int = 2) -> Path:
+    """Serialise ``value`` (via :func:`to_jsonable`) to ``path``; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(to_jsonable(value), handle, indent=indent, sort_keys=False)
+        handle.write("\n")
+    return target
+
+
+def load_json(path: PathLike) -> Any:
+    """Load a JSON document previously written by :func:`save_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,106 @@
+"""Tests for the voltage/BER calibration and SRAM geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FaultModelError
+from repro.faults.ber_model import DEFAULT_BER_MODEL, TABLE_II_CALIBRATION, VoltageBerModel
+from repro.faults.sram import DEFAULT_GEOMETRY, SramGeometry
+
+
+class TestVoltageBerModel:
+    def test_reproduces_table_ii_points(self):
+        for voltage, expected in TABLE_II_CALIBRATION:
+            assert DEFAULT_BER_MODEL.ber_percent(voltage) == pytest.approx(expected, rel=1e-6)
+
+    def test_zero_errors_at_and_above_vmin(self):
+        assert DEFAULT_BER_MODEL.ber_percent(1.0) == 0.0
+        assert DEFAULT_BER_MODEL.ber_percent(1.3) == 0.0
+
+    @given(st.floats(min_value=0.6, max_value=0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_monotonically_decreasing_with_voltage(self, voltage):
+        lower = DEFAULT_BER_MODEL.ber_percent(voltage)
+        higher = DEFAULT_BER_MODEL.ber_percent(voltage + 0.005)
+        assert lower >= higher
+
+    @given(st.floats(min_value=1e-5, max_value=20.0))
+    @settings(max_examples=60, deadline=None)
+    def test_voltage_for_ber_inverts_ber_percent(self, ber):
+        voltage = DEFAULT_BER_MODEL.voltage_for_ber(ber)
+        assert DEFAULT_BER_MODEL.ber_percent(voltage) == pytest.approx(ber, rel=0.05)
+
+    def test_voltage_for_zero_ber_is_vmin(self):
+        assert DEFAULT_BER_MODEL.voltage_for_ber(0.0) == 1.0
+
+    def test_fraction_is_percent_over_100(self):
+        assert DEFAULT_BER_MODEL.ber_fraction(0.77) == pytest.approx(
+            DEFAULT_BER_MODEL.ber_percent(0.77) / 100.0
+        )
+
+    def test_sweep_returns_pairs(self):
+        sweep = DEFAULT_BER_MODEL.sweep([0.7, 0.8, 0.9])
+        assert len(sweep) == 3
+        assert all(len(pair) == 2 for pair in sweep)
+
+    def test_invalid_voltage(self):
+        with pytest.raises(FaultModelError):
+            DEFAULT_BER_MODEL.ber_percent(0.0)
+
+    def test_calibration_validation(self):
+        with pytest.raises(FaultModelError):
+            VoltageBerModel(calibration=((0.8, 1.0),))
+        with pytest.raises(FaultModelError):
+            VoltageBerModel(calibration=((0.8, 1.0), (0.7, 2.0)))
+        with pytest.raises(FaultModelError):
+            VoltageBerModel(calibration=((0.7, 1.0), (0.8, 2.0)))  # increasing with voltage
+
+    def test_paper_headline_point(self):
+        """At 0.77 Vmin the paper reports p = 0.0247 %."""
+        assert DEFAULT_BER_MODEL.ber_percent(0.77) == pytest.approx(0.0247, rel=1e-3)
+
+
+class TestSramGeometry:
+    def test_totals(self):
+        geometry = SramGeometry(rows=4, columns=8, banks=2)
+        assert geometry.bits_per_bank == 32
+        assert geometry.total_bits == 64
+        assert geometry.total_bytes == 8
+
+    def test_compose_decompose_round_trip(self):
+        geometry = SramGeometry(rows=5, columns=7, banks=3)
+        flat = np.arange(geometry.total_bits)
+        bank, row, column = geometry.decompose(flat)
+        assert np.array_equal(geometry.compose(bank, row, column), flat)
+
+    def test_decompose_out_of_range(self):
+        geometry = SramGeometry(rows=2, columns=2, banks=1)
+        with pytest.raises(FaultModelError):
+            geometry.decompose(np.array([4]))
+
+    def test_compose_validation(self):
+        geometry = SramGeometry(rows=2, columns=2, banks=1)
+        with pytest.raises(FaultModelError):
+            geometry.compose(np.array([0]), np.array([2]), np.array([0]))
+
+    def test_column_cells_share_column(self):
+        geometry = SramGeometry(rows=6, columns=4, banks=2)
+        cells = geometry.column_cells(bank=1, column=2)
+        _, rows, columns = geometry.decompose(cells)
+        assert np.array_equal(np.sort(rows), np.arange(6))
+        assert np.all(columns == 2)
+
+    def test_geometry_for_capacity_covers_request(self):
+        geometry = DEFAULT_GEOMETRY.geometry_for_capacity(1_000_000)
+        assert geometry.total_bits >= 1_000_000
+        assert geometry.rows == DEFAULT_GEOMETRY.rows
+
+    def test_invalid_geometry(self):
+        with pytest.raises(FaultModelError):
+            SramGeometry(rows=0, columns=1, banks=1)
+
+    def test_default_matches_paper_cross_section(self):
+        """The reproduced error-pattern figure shows a 125-row x 500-column array."""
+        assert DEFAULT_GEOMETRY.rows == 125
+        assert DEFAULT_GEOMETRY.columns == 500

@@ -1,0 +1,206 @@
+"""Tests for the accelerator hardware models (DVFS, systolic, energy, thermal)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.hardware.accelerator import AcceleratorModel
+from repro.hardware.dvfs import DEFAULT_VOLTAGE_SCALING, VoltageScaling
+from repro.hardware.energy import EnergyModel, SramEnergyCurve
+from repro.hardware.systolic import GemmDims, SystolicArrayConfig, SystolicArrayModel
+from repro.hardware.thermal import HeatsinkModel, ThermalModel
+from repro.nn.policies import build_policy, c3f2, mlp
+
+
+class TestVoltageScaling:
+    def test_vmin_conversion(self):
+        scaling = DEFAULT_VOLTAGE_SCALING
+        assert scaling.to_volts(1.0) == pytest.approx(0.70)
+        assert scaling.to_normalized(0.70) == pytest.approx(1.0)
+        assert scaling.nominal_normalized == pytest.approx(1.0 / 0.70)
+
+    def test_energy_savings_matches_paper_headline(self):
+        """The paper reports 3.43x operating-energy savings at 0.77 Vmin vs 1 V."""
+        scaling = DEFAULT_VOLTAGE_SCALING
+        savings = scaling.energy_savings(scaling.to_volts(0.77))
+        assert savings == pytest.approx(3.43, rel=0.02)
+
+    def test_energy_savings_at_086_vmin(self):
+        savings = DEFAULT_VOLTAGE_SCALING.energy_savings_at_normalized(0.86)
+        assert savings == pytest.approx(2.77, rel=0.02)
+
+    @given(st.floats(min_value=0.45, max_value=1.4))
+    @settings(max_examples=50, deadline=None)
+    def test_energy_scale_is_quadratic(self, volts):
+        scaling = DEFAULT_VOLTAGE_SCALING
+        assert scaling.energy_scale(volts) == pytest.approx((volts / 1.0) ** 2)
+
+    def test_frequency_decreases_with_voltage(self):
+        scaling = DEFAULT_VOLTAGE_SCALING
+        assert scaling.frequency_mhz(1.0) > scaling.frequency_mhz(0.6)
+        assert scaling.frequency_mhz(1.0) == pytest.approx(800.0)
+
+    def test_below_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_VOLTAGE_SCALING.frequency_mhz(0.2)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            VoltageScaling(vmin_volts=1.2, nominal_volts=1.0)
+        with pytest.raises(ConfigurationError):
+            VoltageScaling(threshold_volts=0.9)
+
+
+class TestSystolicModel:
+    def test_gemm_cycles_output_stationary(self):
+        model = SystolicArrayModel(SystolicArrayConfig(rows=4, columns=4, dataflow="os"))
+        dims = GemmDims(m=8, n=8, k=10)
+        # 2x2 tiles, each costing k + rows + cols - 2 = 16 cycles.
+        assert model.gemm_cycles(dims) == 4 * 16
+
+    def test_gemm_cycles_weight_stationary(self):
+        model = SystolicArrayModel(SystolicArrayConfig(rows=4, columns=4, dataflow="ws"))
+        dims = GemmDims(m=8, n=8, k=10)
+        assert model.gemm_cycles(dims) == 3 * 2 * (8 + 3)
+
+    def test_network_costs_cover_all_compute_layers(self, tiny_conv_network):
+        model = SystolicArrayModel()
+        costs = model.network_costs(tiny_conv_network, (2, 8, 8))
+        # 1 conv + 1 hidden fc + 1 q-head
+        assert len(costs) == 3
+        assert all(cost.macs > 0 and cost.cycles > 0 for cost in costs)
+
+    def test_total_macs_match_manual_count(self):
+        network = build_policy(mlp((10,)), (6,), 3, rng=0)
+        model = SystolicArrayModel()
+        assert model.total_macs(network, (6,)) == 6 * 10 + 10 * 3
+
+    def test_utilization_bounded(self, tiny_conv_network):
+        model = SystolicArrayModel()
+        utilization = model.average_utilization(tiny_conv_network, (2, 8, 8))
+        assert 0.0 < utilization <= 1.0
+
+    def test_larger_network_costs_more(self):
+        small = build_policy(c3f2(0.25), (1, 20, 20), 25, rng=0)
+        large = build_policy(c3f2(0.5), (1, 20, 20), 25, rng=0)
+        model = SystolicArrayModel()
+        assert model.total_cycles(large, (1, 20, 20)) > model.total_cycles(small, (1, 20, 20))
+
+    def test_invalid_dataflow(self):
+        with pytest.raises(ConfigurationError):
+            SystolicArrayConfig(dataflow="nvdla")
+
+    def test_network_without_compute_layers_rejected(self):
+        from repro.nn.layers import Flatten
+        from repro.nn.network import Sequential
+
+        with pytest.raises(ShapeError):
+            SystolicArrayModel().network_costs(Sequential([Flatten()]), (2, 2))
+
+
+class TestEnergyModel:
+    def test_sram_curve_matches_fig2_endpoints(self):
+        curve = SramEnergyCurve()
+        assert curve.energy_nj(0.85) == pytest.approx(3.5, rel=0.01)
+        assert curve.energy_nj(0.65) == pytest.approx(2.05, rel=0.05)
+
+    def test_sram_energy_monotone_in_voltage(self):
+        curve = SramEnergyCurve()
+        voltages = np.linspace(0.6, 1.0, 9)
+        energies = [curve.energy_nj(v) for v in voltages]
+        assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    def test_layer_energy_scales_quadratically_for_on_chip_terms(self, tiny_conv_network):
+        model = SystolicArrayModel()
+        energy = EnergyModel()
+        cost = model.network_costs(tiny_conv_network, (2, 8, 8))[0]
+        high = energy.breakdown_joules(cost, 1.0)
+        low = energy.breakdown_joules(cost, 0.5)
+        assert low["compute"] == pytest.approx(high["compute"] * 0.25)
+        assert low["sram"] == pytest.approx(high["sram"] * 0.25)
+        assert low["dram"] == pytest.approx(high["dram"])  # off-chip does not scale
+
+    def test_leakage_energy(self):
+        energy = EnergyModel(leakage_power_mw=10.0)
+        assert energy.leakage_energy_joules(2.0, 1.0) == pytest.approx(0.02)
+        with pytest.raises(ConfigurationError):
+            energy.leakage_energy_joules(-1.0, 1.0)
+
+    def test_invalid_energies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(mac_energy_pj=0.0)
+
+
+class TestThermal:
+    def test_heatsink_mass_matches_paper_points(self):
+        heatsink = HeatsinkModel()
+        assert heatsink.mass_at_volts_g(1.0) == pytest.approx(4.05, rel=0.01)
+        assert heatsink.mass_at_volts_g(1.5) == pytest.approx(9.1, rel=0.02)
+        assert heatsink.mass_at_volts_g(0.5) == pytest.approx(1.0, rel=0.02)
+
+    def test_fig6_crazyflie_points(self):
+        """Fig. 6a: 1.28 Vmin -> 3.26 g and 0.79 Vmin -> 1.22 g."""
+        heatsink = HeatsinkModel()
+        assert heatsink.mass_at_normalized_g(1.28) == pytest.approx(3.26, rel=0.03)
+        assert heatsink.mass_at_normalized_g(0.79) == pytest.approx(1.22, rel=0.03)
+
+    def test_tdp_scales_with_voltage_squared(self):
+        thermal = ThermalModel(nominal_tdp_w=2.0)
+        assert thermal.tdp_watts(0.5) == pytest.approx(0.5)
+
+    def test_minimum_mass_floor(self):
+        heatsink = HeatsinkModel(minimum_mass_g=0.8)
+        assert heatsink.mass_at_volts_g(0.3) == 0.8
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            HeatsinkModel(mass_per_watt_g=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalModel(nominal_tdp_w=-1.0)
+
+
+class TestAcceleratorModel:
+    @pytest.fixture
+    def accelerator(self, tiny_conv_network):
+        return AcceleratorModel(tiny_conv_network, (2, 8, 8))
+
+    def test_inference_cost_fields(self, accelerator):
+        cost = accelerator.inference_cost(1.0)
+        assert cost.energy_joules > 0
+        assert cost.latency_ms > 0
+        assert cost.cycles == accelerator.total_cycles
+        assert set(cost.breakdown_joules) == {"compute", "sram", "dram", "leakage"}
+
+    def test_lower_voltage_reduces_energy_but_increases_latency(self, accelerator):
+        nominal = accelerator.inference_cost(accelerator.scaling.nominal_normalized)
+        low = accelerator.inference_cost(0.77)
+        assert low.energy_joules < nominal.energy_joules
+        assert low.latency_ms > nominal.latency_ms
+
+    def test_energy_savings_close_to_supply_scaling(self, accelerator):
+        """Dominated by on-chip energy, savings track the paper's quadratic factor."""
+        savings = accelerator.energy_savings(0.77)
+        assert savings == pytest.approx(3.43, rel=0.02)
+
+    def test_training_step_costs_more_than_inference(self, accelerator):
+        assert accelerator.training_step_energy_joules(0.8) > accelerator.inference_energy_joules(0.8)
+
+    def test_processing_power_scales_with_control_rate(self, tiny_conv_network):
+        slow = AcceleratorModel(tiny_conv_network, (2, 8, 8), control_rate_hz=10.0)
+        fast = AcceleratorModel(tiny_conv_network, (2, 8, 8), control_rate_hz=30.0)
+        assert fast.processing_power_w(1.0) == pytest.approx(3.0 * slow.processing_power_w(1.0))
+
+    def test_sweep(self, accelerator):
+        costs = accelerator.sweep([0.7, 0.8, 0.9])
+        assert len(costs) == 3
+        # On-chip (voltage-scaled) energy strictly increases with supply voltage;
+        # total energy may be dominated by the constant DRAM term for tiny networks.
+        on_chip = [c.breakdown_joules["compute"] + c.breakdown_joules["sram"] for c in costs]
+        assert on_chip[0] < on_chip[1] < on_chip[2]
+        latencies = [c.latency_ms for c in costs]
+        assert latencies[0] > latencies[2]
+
+    def test_invalid_control_rate(self, tiny_conv_network):
+        with pytest.raises(ConfigurationError):
+            AcceleratorModel(tiny_conv_network, (2, 8, 8), control_rate_hz=0.0)

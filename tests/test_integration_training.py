@@ -1,0 +1,81 @@
+"""End-to-end integration tests: train real policies and check the paper's qualitative claims.
+
+These tests exercise the full stack — environment, DQN/BERRY training, 8-bit
+quantization, persistent fault injection, evaluation and the cyber-physical
+pipeline — at the reduced scale of :data:`repro.experiments.profiles.FAST_PROFILE`.
+They are the evidence that the Table I / Fig. 3 ordering (BERRY is markedly
+more robust to bit errors than classical DQN at equal error-free performance)
+emerges from this implementation rather than only from the calibrated curves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.calibrated import AutonomyScheme
+from repro.core.pipeline import MissionPipeline
+from repro.experiments.profiles import FAST_PROFILE
+from repro.experiments.table1 import TrainedPolicies, train_policies
+from repro.rl.evaluation import evaluate_policy, evaluate_under_faults
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def trained_policies() -> TrainedPolicies:
+    """Train the classical and BERRY policies once for the whole module (~25 s)."""
+    return train_policies(FAST_PROFILE, training_ber_percent=1.0, seed=0)
+
+
+class TestTrainedRobustness:
+    def test_both_schemes_learn_the_task(self, trained_policies):
+        env = trained_policies.environment
+        classical = evaluate_policy(env, trained_policies.classical.q_network, 20, rng=11)
+        berry = evaluate_policy(env, trained_policies.berry.q_network, 20, rng=11)
+        assert classical.success_rate >= 0.6
+        assert berry.success_rate >= 0.6
+
+    def test_berry_is_more_robust_to_bit_errors(self, trained_policies):
+        """The reduced-scale analogue of Table I: at p = 1 % BERRY retains far more missions."""
+        env = trained_policies.environment
+        classical = evaluate_under_faults(
+            env, trained_policies.classical.q_network, ber_percent=1.0,
+            num_fault_maps=12, episodes_per_map=2, rng=13,
+        )
+        berry = evaluate_under_faults(
+            env, trained_policies.berry.q_network, ber_percent=1.0,
+            num_fault_maps=12, episodes_per_map=2, rng=13,
+        )
+        assert berry.success_rate >= classical.success_rate + 0.15
+
+    def test_berry_training_used_injections(self, trained_policies):
+        berry_trainer = trained_policies.berry
+        assert berry_trainer.num_injections > 0
+        assert berry_trainer.num_injections == berry_trainer.history.gradient_steps
+
+    def test_weight_clip_bounds_berry_parameters(self, trained_policies):
+        clip = trained_policies.berry.berry.weight_clip
+        assert clip is not None
+        for parameter in trained_policies.berry.q_network.parameters():
+            assert np.all(np.abs(parameter.data) <= clip + 1e-9)
+
+    def test_measured_curve_drives_the_mission_pipeline(self, trained_policies):
+        """Plug the measured robustness of the trained policies into the system pipeline."""
+        env = trained_policies.environment
+        berry_error_free = evaluate_policy(env, trained_policies.berry.q_network, 20, rng=11)
+        berry_faulty = evaluate_under_faults(
+            env, trained_policies.berry.q_network, ber_percent=1.0,
+            num_fault_maps=10, episodes_per_map=2, rng=17,
+        )
+
+        def measured_provider(ber_percent: float) -> float:
+            if ber_percent <= 1e-6:
+                return berry_error_free.success_rate
+            return berry_faulty.success_rate
+
+        pipeline = MissionPipeline()
+        voltage = pipeline.config.ber_model.voltage_for_ber(1.0)
+        points = pipeline.voltage_sweep([voltage], success_provider=measured_provider)
+        low_voltage_point = points[-1]
+        assert low_voltage_point.processing_energy_savings > 3.5
+        assert 0.0 < low_voltage_point.success_rate <= 1.0
+        assert low_voltage_point.flight_energy_j > 0.0

@@ -1,0 +1,125 @@
+"""Tests for loss functions and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.layers import Parameter
+from repro.nn.loss import HuberLoss, MSELoss
+from repro.nn.optim import SGD, Adam, RMSProp, build_optimizer
+
+
+class TestMSELoss:
+    def test_value_and_gradient(self):
+        loss = MSELoss()
+        value, grad = loss(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert value == pytest.approx(2.5)
+        assert np.allclose(grad, [1.0, 2.0])
+
+    def test_zero_at_match(self):
+        value, grad = MSELoss()(np.ones(4), np.ones(4))
+        assert value == 0.0
+        assert np.all(grad == 0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            MSELoss()(np.zeros(3), np.zeros(4))
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ShapeError):
+            MSELoss()(np.zeros(0), np.zeros(0))
+
+
+class TestHuberLoss:
+    def test_quadratic_region(self):
+        value, grad = HuberLoss(delta=1.0)(np.array([0.5]), np.array([0.0]))
+        assert value == pytest.approx(0.125)
+        assert grad[0] == pytest.approx(0.5)
+
+    def test_linear_region(self):
+        value, grad = HuberLoss(delta=1.0)(np.array([3.0]), np.array([0.0]))
+        assert value == pytest.approx(2.5)
+        assert grad[0] == pytest.approx(1.0)
+
+    def test_gradient_bounded_by_delta(self):
+        _, grad = HuberLoss(delta=0.5)(np.array([100.0, -100.0]), np.zeros(2))
+        assert np.all(np.abs(grad * 2) <= 0.5 + 1e-12)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ConfigurationError):
+            HuberLoss(delta=0.0)
+
+
+def quadratic_problem():
+    """A convex quadratic: minimise sum((w - 3)^2)."""
+    parameter = Parameter(np.zeros(4), name="w")
+
+    def compute_grad():
+        parameter.grad[:] = 2.0 * (parameter.data - 3.0)
+
+    return parameter, compute_grad
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("cls, kwargs", [
+        (SGD, {"lr": 0.1}),
+        (SGD, {"lr": 0.05, "momentum": 0.9}),
+        (RMSProp, {"lr": 0.2}),
+        (Adam, {"lr": 0.2}),
+    ])
+    def test_converges_on_quadratic(self, cls, kwargs):
+        parameter, compute_grad = quadratic_problem()
+        optimizer = cls([parameter], **kwargs)
+        for _ in range(300):
+            optimizer.zero_grad()
+            compute_grad()
+            optimizer.step()
+        assert np.allclose(parameter.data, 3.0, atol=1e-2)
+
+    def test_grad_clip_limits_update(self):
+        parameter = Parameter(np.zeros(1))
+        optimizer = SGD([parameter], lr=1.0, grad_clip=0.5)
+        parameter.grad[:] = 100.0
+        optimizer.step()
+        assert parameter.data[0] == pytest.approx(-0.5)
+
+    def test_step_count_increments(self):
+        parameter = Parameter(np.zeros(1))
+        optimizer = Adam([parameter], lr=0.1)
+        for _ in range(3):
+            optimizer.step()
+        assert optimizer.step_count == 3
+
+    def test_global_grad_norm(self):
+        parameter = Parameter(np.zeros(2))
+        optimizer = SGD([parameter], lr=0.1)
+        parameter.grad[:] = [3.0, 4.0]
+        assert optimizer.global_grad_norm() == pytest.approx(5.0)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ConfigurationError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+    def test_invalid_adam_betas(self):
+        with pytest.raises(ConfigurationError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, beta1=1.0)
+
+
+class TestBuildOptimizer:
+    def test_lookup_by_name(self):
+        parameter = Parameter(np.zeros(1))
+        assert isinstance(build_optimizer("adam", [parameter], lr=0.1), Adam)
+        assert isinstance(build_optimizer("SGD", [parameter], lr=0.1), SGD)
+        assert isinstance(build_optimizer("rmsprop", [parameter], lr=0.1), RMSProp)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_optimizer("adagrad", [Parameter(np.zeros(1))], lr=0.1)

@@ -1,0 +1,87 @@
+"""Cross-cutting checks against the headline numbers printed in the paper.
+
+These tests tie the whole model stack to the paper's reported results:
+processing-energy savings factors, the Table II baseline and sweet-spot rows,
+and the abstract's headline claims (up to ~15.6 % flight-energy reduction,
+~18.5 % more missions, ~3.43x processing-energy reduction).  Tolerances are
+loose where the paper's own interpolation is not recoverable; orderings and
+crossover locations are asserted tightly because they are the reproducible
+"shape" of the result.
+"""
+
+import pytest
+
+from repro.core.calibrated import AutonomyScheme
+from repro.core.pipeline import MissionPipeline
+from repro.experiments.table2 import TABLE_II_VOLTAGES
+from repro.faults.ber_model import DEFAULT_BER_MODEL
+from repro.hardware.dvfs import DEFAULT_VOLTAGE_SCALING
+
+
+#: (normalized voltage, paper's operating-energy-savings factor) from Table II.
+TABLE_II_ENERGY_SAVINGS = [
+    (0.86, 2.77),
+    (0.83, 2.97),
+    (0.80, 3.18),
+    (0.77, 3.43),
+    (0.74, 3.69),
+    (0.68, 4.42),
+    (0.64, 4.93),
+]
+
+
+class TestProcessingEnergySavings:
+    @pytest.mark.parametrize("voltage, expected", TABLE_II_ENERGY_SAVINGS)
+    def test_savings_factor_matches_table_ii(self, voltage, expected):
+        savings = DEFAULT_VOLTAGE_SCALING.energy_savings_at_normalized(voltage)
+        assert savings == pytest.approx(expected, rel=0.03)
+
+
+class TestBerCalibration:
+    @pytest.mark.parametrize(
+        "voltage, expected",
+        [(0.86, 1.96e-6), (0.80, 1.87e-3), (0.77, 2.47e-2), (0.73, 4.98e-1), (0.64, 20.36)],
+    )
+    def test_ber_matches_table_ii(self, voltage, expected):
+        assert DEFAULT_BER_MODEL.ber_percent(voltage) == pytest.approx(expected, rel=1e-3)
+
+
+class TestHeadlineClaims:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return MissionPipeline().voltage_sweep(TABLE_II_VOLTAGES, scheme=AutonomyScheme.BERRY)
+
+    def test_baseline_row(self, sweep):
+        baseline = sweep[0]
+        assert baseline.flight_distance_m == pytest.approx(14.89, rel=0.01)
+        assert baseline.flight_time_s == pytest.approx(6.81, rel=0.02)
+        assert baseline.flight_energy_j == pytest.approx(53.19, rel=0.02)
+        assert baseline.num_missions == pytest.approx(55.35, rel=0.03)
+
+    def test_abstract_headline_magnitudes(self, sweep):
+        """Up to ~15.6 % flight-energy savings and ~18.5 % more missions (within a few points)."""
+        best_energy = min(p.flight_energy_change_pct for p in sweep[1:])
+        best_missions = max(p.missions_change_pct for p in sweep[1:])
+        assert -19.0 < best_energy < -12.0
+        assert 13.0 < best_missions < 22.0
+
+    def test_success_rate_stays_high_through_the_sweet_spot(self, sweep):
+        for point in sweep[1:]:
+            if point.normalized_voltage >= 0.77:
+                assert point.success_rate_percent > 86.0
+
+    def test_missions_crossover_voltage(self, sweep):
+        """Table II: the missions improvement turns negative between 0.74 and 0.71 Vmin."""
+        by_voltage = {p.normalized_voltage: p for p in sweep[1:]}
+        assert by_voltage[0.74].missions_change_pct > -2.0
+        assert by_voltage[0.71].missions_change_pct < 0.0
+
+    def test_flight_energy_crossover_voltage(self, sweep):
+        """Table II: single-mission flight energy exceeds the 1 V baseline by 0.64-0.68 Vmin."""
+        by_voltage = {p.normalized_voltage: p for p in sweep[1:]}
+        assert by_voltage[0.77].flight_energy_change_pct < 0.0
+        assert by_voltage[0.64].flight_energy_change_pct > 0.0
+
+    def test_flight_distance_grows_at_low_voltage(self, sweep):
+        by_voltage = {p.normalized_voltage: p for p in sweep[1:]}
+        assert by_voltage[0.64].flight_distance_m > 1.4 * by_voltage[0.80].flight_distance_m

@@ -1,0 +1,265 @@
+"""Tests for the RL substrate: replay buffer, schedules, DQN trainer, evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, TrainingError
+from repro.nn.policies import mlp
+from repro.rl.dqn import DqnConfig, DqnTrainer, TrainingHistory
+from repro.rl.evaluation import (
+    PolicyEvaluation,
+    evaluate_policy,
+    evaluate_under_faults,
+    greedy_policy,
+    robustness_curve,
+)
+from repro.rl.replay_buffer import ReplayBuffer, Transition
+from repro.rl.schedules import ConstantSchedule, ExponentialDecay, LinearDecay
+
+
+class TestReplayBuffer:
+    def test_add_and_len(self):
+        buffer = ReplayBuffer(capacity=4, observation_shape=(3,))
+        for i in range(3):
+            buffer.add(np.full(3, i), i, float(i), np.full(3, i + 1), False)
+        assert len(buffer) == 3
+        assert not buffer.is_full
+
+    def test_capacity_wraps_around(self):
+        buffer = ReplayBuffer(capacity=3, observation_shape=(2,))
+        for i in range(5):
+            buffer.add(np.full(2, i), i, float(i), np.full(2, i), i % 2 == 0)
+        assert len(buffer) == 3
+        assert buffer.is_full
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=50),
+        additions=st.integers(min_value=1, max_value=120),
+        batch=st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sample_invariants(self, capacity, additions, batch):
+        buffer = ReplayBuffer(capacity=capacity, observation_shape=(2,))
+        for i in range(additions):
+            buffer.add(np.full(2, i % capacity), i % 7, float(i), np.full(2, i), False)
+        assert len(buffer) == min(capacity, additions)
+        sample = buffer.sample(batch, rng=0)
+        assert sample.batch_size == batch
+        assert sample.observations.shape == (batch, 2)
+        # Every sampled action must be one that was actually stored.
+        assert set(sample.actions.tolist()).issubset({i % 7 for i in range(additions)})
+
+    def test_sample_empty_rejected(self):
+        buffer = ReplayBuffer(capacity=4, observation_shape=(2,))
+        with pytest.raises(ConfigurationError):
+            buffer.sample(1)
+
+    def test_wrong_observation_shape_rejected(self):
+        buffer = ReplayBuffer(capacity=4, observation_shape=(2,))
+        with pytest.raises(ConfigurationError):
+            buffer.add(np.zeros(3), 0, 0.0, np.zeros(2), False)
+
+    def test_clear(self):
+        buffer = ReplayBuffer(capacity=4, observation_shape=(2,))
+        buffer.add(np.zeros(2), 0, 0.0, np.zeros(2), False)
+        buffer.clear()
+        assert len(buffer) == 0
+
+    def test_samples_are_copies(self):
+        buffer = ReplayBuffer(capacity=4, observation_shape=(2,))
+        buffer.add(np.zeros(2), 0, 0.0, np.zeros(2), False)
+        sample = buffer.sample(1, rng=0)
+        sample.observations[0, 0] = 99.0
+        assert buffer.sample(1, rng=0).observations[0, 0] == 0.0
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.2)
+        assert schedule(0) == schedule(10_000) == 0.2
+
+    def test_linear_decay_endpoints(self):
+        schedule = LinearDecay(start=1.0, end=0.1, decay_steps=100)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(50) == pytest.approx(0.55)
+        assert schedule(100) == schedule(500) == pytest.approx(0.1)
+
+    def test_exponential_decay_monotone(self):
+        schedule = ExponentialDecay(start=1.0, end=0.05, decay_steps=100)
+        values = [schedule(step) for step in range(0, 1000, 50)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert values[-1] >= 0.05
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearDecay(start=1.5)
+        with pytest.raises(ConfigurationError):
+            ExponentialDecay(decay_steps=0)
+        with pytest.raises(ConfigurationError):
+            ConstantSchedule(2.0)
+        with pytest.raises(ConfigurationError):
+            LinearDecay()(-1)
+
+
+@pytest.fixture
+def fast_config() -> DqnConfig:
+    return DqnConfig(
+        batch_size=16,
+        buffer_capacity=2000,
+        learning_starts=32,
+        train_frequency=2,
+        target_update_interval=100,
+        epsilon_schedule=LinearDecay(start=1.0, end=0.1, decay_steps=500),
+    )
+
+
+class TestDqnConfig:
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            DqnConfig(gamma=1.0)
+        with pytest.raises(TrainingError):
+            DqnConfig(batch_size=0)
+        with pytest.raises(TrainingError):
+            DqnConfig(loss="l1")
+        with pytest.raises(TrainingError):
+            DqnConfig(target_update_interval=0)
+
+
+class TestDqnTrainer:
+    def test_networks_start_synchronised(self, small_env, fast_config):
+        trainer = DqnTrainer(small_env, policy_spec=mlp((16,)), config=fast_config, rng=0)
+        x = np.random.default_rng(0).normal(size=(2,) + small_env.observation_space.shape)
+        assert np.allclose(trainer.q_network.forward(x), trainer.target_network.forward(x))
+
+    def test_greedy_action_in_range(self, small_env, fast_config):
+        trainer = DqnTrainer(small_env, policy_spec=mlp((16,)), config=fast_config, rng=0)
+        obs = small_env.reset()
+        action = trainer.greedy_action(obs)
+        assert small_env.action_space.contains(action)
+
+    def test_epsilon_one_explores(self, small_env, fast_config):
+        trainer = DqnTrainer(small_env, policy_spec=mlp((16,)), config=fast_config, rng=0)
+        obs = small_env.reset()
+        actions = {trainer.act(obs, epsilon=1.0) for _ in range(50)}
+        assert len(actions) > 3
+
+    def test_learn_on_batch_updates_parameters(self, small_env, fast_config):
+        trainer = DqnTrainer(small_env, policy_spec=mlp((16,)), config=fast_config, rng=0)
+        obs = small_env.reset()
+        for _ in range(40):
+            result = small_env.step(small_env.action_space.sample(rng=0))
+            trainer.replay.add(obs, 0, result.reward, result.observation, result.terminated)
+            obs = result.observation
+            if result.terminated or result.truncated:
+                obs = small_env.reset()
+        before = trainer.q_network.state_dict()
+        loss = trainer.learn_on_batch(trainer.replay.sample(16, rng=0))
+        assert np.isfinite(loss)
+        after = trainer.q_network.state_dict()
+        assert any(not np.allclose(before[name], after[name]) for name in before)
+
+    def test_sync_target_network(self, small_env, fast_config):
+        trainer = DqnTrainer(small_env, policy_spec=mlp((16,)), config=fast_config, rng=0)
+        trainer.q_network.parameters()[0].data += 1.0
+        trainer.sync_target_network()
+        assert np.allclose(
+            trainer.q_network.parameters()[0].data, trainer.target_network.parameters()[0].data
+        )
+
+    def test_td_targets_use_terminal_mask(self, small_env, fast_config):
+        trainer = DqnTrainer(small_env, policy_spec=mlp((16,)), config=fast_config, rng=0)
+        obs_shape = small_env.observation_space.shape
+        batch = Transition(
+            observations=np.zeros((2,) + obs_shape),
+            actions=np.array([0, 1]),
+            rewards=np.array([1.0, 1.0]),
+            next_observations=np.zeros((2,) + obs_shape),
+            dones=np.array([1.0, 0.0]),
+        )
+        targets = trainer.compute_td_targets(batch, trainer.target_network)
+        assert targets[0] == pytest.approx(1.0)
+        next_q = trainer.target_network.forward(batch.next_observations)
+        assert targets[1] == pytest.approx(1.0 + trainer.config.gamma * next_q[1].max())
+
+    def test_short_training_run_populates_history(self, small_env, fast_config):
+        trainer = DqnTrainer(small_env, policy_spec=mlp((16,)), config=fast_config, rng=0)
+        history = trainer.train(5)
+        assert history.num_episodes == 5
+        assert history.total_steps > 0
+        assert len(history.episode_successes) == 5
+
+    def test_invalid_num_episodes(self, small_env, fast_config):
+        trainer = DqnTrainer(small_env, policy_spec=mlp((16,)), config=fast_config, rng=0)
+        with pytest.raises(TrainingError):
+            trainer.train(0)
+
+    def test_callback_invoked(self, small_env, fast_config):
+        trainer = DqnTrainer(small_env, policy_spec=mlp((16,)), config=fast_config, rng=0)
+        episodes_seen = []
+        trainer.train(3, callback=lambda episode, history: episodes_seen.append(episode))
+        assert episodes_seen == [0, 1, 2]
+
+
+class TestTrainingHistory:
+    def test_success_rate_window(self):
+        history = TrainingHistory(episode_successes=[True, False, True, True])
+        assert history.success_rate() == pytest.approx(0.75)
+        assert history.success_rate(window=2) == pytest.approx(1.0)
+        assert TrainingHistory().success_rate() == 0.0
+
+    def test_mean_reward(self):
+        history = TrainingHistory(episode_rewards=[1.0, 3.0])
+        assert history.mean_reward() == pytest.approx(2.0)
+
+
+class TestEvaluation:
+    def test_greedy_policy_matches_argmax(self, tiny_network):
+        policy = greedy_policy(tiny_network)
+        obs = np.random.default_rng(0).normal(size=(6,))
+        q_values = tiny_network.forward(obs[None])
+        assert policy(obs) == int(np.argmax(q_values[0]))
+
+    def test_evaluate_policy_summary(self, small_env, tiny_network):
+        # tiny_network has the wrong observation size for small_env; build a matching one.
+        from repro.nn.policies import build_policy
+
+        network = build_policy(mlp((16,)), small_env.observation_space.shape, small_env.action_space.n, rng=0)
+        evaluation = evaluate_policy(small_env, network, num_episodes=4, rng=0)
+        assert isinstance(evaluation, PolicyEvaluation)
+        assert evaluation.num_episodes == 4
+        assert 0.0 <= evaluation.success_rate <= 1.0
+
+    def test_evaluate_under_faults_zero_ber_matches_quantized_policy(self, small_env):
+        from repro.nn.policies import build_policy
+
+        network = build_policy(mlp((16,)), small_env.observation_space.shape, small_env.action_space.n, rng=0)
+        point = evaluate_under_faults(
+            small_env, network, ber_percent=0.0, num_fault_maps=2, episodes_per_map=2, rng=0
+        )
+        assert point.num_fault_maps == 2
+        assert 0.0 <= point.success_rate <= 1.0
+        assert point.success_rate_std >= 0.0
+
+    def test_evaluate_under_faults_with_explicit_maps(self, small_env):
+        from repro.faults.fault_map import FaultMap
+        from repro.faults.injection import BitErrorInjector
+        from repro.nn.policies import build_policy
+
+        network = build_policy(mlp((16,)), small_env.observation_space.shape, small_env.action_space.n, rng=0)
+        injector = BitErrorInjector.for_network(network)
+        maps = [FaultMap.random(injector.memory_bits, 0.001, rng=i) for i in range(2)]
+        point = evaluate_under_faults(
+            small_env, network, ber_percent=0.1, fault_maps=maps, episodes_per_map=1, rng=0
+        )
+        assert point.num_fault_maps == 2
+        assert len(point.per_map_success_rates) == 2
+
+    def test_robustness_curve_keys(self, small_env):
+        from repro.nn.policies import build_policy
+
+        network = build_policy(mlp((16,)), small_env.observation_space.shape, small_env.action_space.n, rng=0)
+        curve = robustness_curve(
+            small_env, network, [0.1, 1.0], num_fault_maps=2, episodes_per_map=1, rng=0
+        )
+        assert set(curve) == {0.1, 1.0}

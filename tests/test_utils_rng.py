@@ -1,0 +1,93 @@
+"""Tests for the seeded RNG utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import (
+    RngFactory,
+    as_generator,
+    choice_without_replacement,
+    iter_seeds,
+    spawn_generators,
+)
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(7).integers(0, 1_000_000, size=10)
+        b = as_generator(7).integers(0, 1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(3)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_children_are_independent_and_deterministic(self):
+        first = [g.integers(0, 1000, 5).tolist() for g in spawn_generators(11, 3)]
+        second = [g.integers(0, 1000, 5).tolist() for g in spawn_generators(11, 3)]
+        assert first == second
+        assert first[0] != first[1]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+
+class TestRngFactory:
+    def test_fixed_stream_is_stable(self):
+        factory = RngFactory(5)
+        a = factory.fixed_stream("env").integers(0, 100, 4)
+        b = factory.fixed_stream("env").integers(0, 100, 4)
+        assert np.array_equal(a, b)
+
+    def test_stream_advances_per_call(self):
+        factory = RngFactory(5)
+        a = factory.stream("agent").integers(0, 100, 4)
+        b = factory.stream("agent").integers(0, 100, 4)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        factory = RngFactory(5)
+        a = factory.fixed_stream("alpha").integers(0, 10_000, 8)
+        b = factory.fixed_stream("beta").integers(0, 10_000, 8)
+        assert not np.array_equal(a, b)
+
+    def test_seeds_are_reproducible(self):
+        factory = RngFactory(9)
+        assert factory.seeds("maps", 4) == RngFactory(9).seeds("maps", 4)
+
+
+class TestChoiceWithoutReplacement:
+    @given(
+        population=st.integers(min_value=1, max_value=5000),
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_unique_and_in_range(self, population, fraction):
+        size = int(round(fraction * population))
+        result = choice_without_replacement(np.random.default_rng(0), population, size)
+        assert len(result) == size
+        assert len(np.unique(result)) == size
+        if size:
+            assert result.min() >= 0 and result.max() < population
+
+    def test_oversample_rejected(self):
+        with pytest.raises(ValueError):
+            choice_without_replacement(np.random.default_rng(0), 5, 6)
+
+
+def test_iter_seeds_deterministic():
+    assert list(iter_seeds(1, 5)) == list(iter_seeds(1, 5))
+    assert len(set(iter_seeds(1, 5))) == 5

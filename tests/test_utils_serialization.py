@@ -1,0 +1,52 @@
+"""Tests for JSON serialization helpers."""
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import load_json, save_json, to_jsonable
+
+
+@dataclass
+class Sample:
+    name: str
+    values: np.ndarray
+
+
+class TestToJsonable:
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.arange(3)) == [0, 1, 2]
+
+    def test_nested_structures(self):
+        value = {"a": [np.float32(1.5), (2, 3)], "b": {"c": np.array([1.0])}}
+        assert to_jsonable(value) == {"a": [1.5, [2, 3]], "b": {"c": [1.0]}}
+
+    def test_dataclass(self):
+        sample = Sample(name="x", values=np.array([1, 2]))
+        assert to_jsonable(sample) == {"name": "x", "values": [1, 2]}
+
+    def test_path_becomes_string(self, tmp_path):
+        assert to_jsonable(tmp_path) == str(tmp_path)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        payload = {"metric": np.float64(1.25), "rows": [1, 2, 3]}
+        path = save_json(tmp_path / "out" / "result.json", payload)
+        assert path.exists()
+        assert load_json(path) == {"metric": 1.25, "rows": [1, 2, 3]}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_json(tmp_path / "a" / "b" / "c.json", [1])
+        assert Path(path).parent.is_dir()

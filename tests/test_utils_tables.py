@@ -1,0 +1,68 @@
+"""Tests for the tabular result container."""
+
+import pytest
+
+from repro.utils.tables import Table, format_aligned, format_markdown
+
+
+@pytest.fixture
+def table() -> Table:
+    t = Table("demo", ["name", "value", "flag"])
+    t.add_row(name="alpha", value=1.5, flag=True)
+    t.add_row(name="beta", value=2.25, flag=False)
+    return t
+
+
+class TestTable:
+    def test_len_and_column(self, table):
+        assert len(table) == 2
+        assert table.column("name") == ["alpha", "beta"]
+
+    def test_unknown_column_in_row_rejected(self, table):
+        with pytest.raises(KeyError):
+            table.add_row(name="x", other=1)
+
+    def test_unknown_column_lookup_rejected(self, table):
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_sort(self, table):
+        table.sort("value", reverse=True)
+        assert table.column("name") == ["beta", "alpha"]
+
+    def test_filter_returns_new_table(self, table):
+        filtered = table.filter(lambda row: row["flag"])
+        assert len(filtered) == 1
+        assert len(table) == 2
+
+    def test_extend(self, table):
+        table.extend([{"name": "gamma", "value": 3.0, "flag": True}])
+        assert len(table) == 3
+
+    def test_to_jsonable_round_trip_structure(self, table):
+        data = table.to_jsonable()
+        assert data["title"] == "demo"
+        assert data["columns"] == ["name", "value", "flag"]
+        assert data["rows"][0]["name"] == "alpha"
+
+    def test_missing_cells_render_blank(self):
+        t = Table("sparse", ["a", "b"])
+        t.add_row(a=1)
+        assert "| 1 |  |" in format_markdown(t)
+
+
+class TestRendering:
+    def test_markdown_contains_header_and_rows(self, table):
+        text = format_markdown(table)
+        assert "| name | value | flag |" in text
+        assert "| alpha | 1.5 | yes |" in text
+
+    def test_aligned_output_has_title_and_divider(self, table):
+        text = format_aligned(table)
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert set(lines[2].replace(" ", "")) == {"-"}
+
+    def test_float_format_applied(self, table):
+        text = format_markdown(table, float_format=".1f")
+        assert "2.2" in text and "2.25" not in text
