@@ -1,5 +1,62 @@
-"""Setup shim: enables legacy editable installs where the `wheel` package is absent."""
+"""Package metadata for the BERRY reproduction.
 
-from setuptools import setup
+Kept as a plain ``setup.py`` so legacy editable installs (no ``wheel``
+package present) keep working in minimal containers.
+"""
 
-setup()
+import os
+import re
+
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    with open(os.path.join(here, "src", "repro", "version.py"), encoding="utf-8") as handle:
+        match = re.search(r'__version__\s*=\s*"([^"]+)"', handle.read())
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/version.py")
+    return match.group(1)
+
+
+def read_long_description() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    readme = os.path.join(here, "README.md")
+    if not os.path.exists(readme):
+        return ""
+    with open(readme, encoding="utf-8") as handle:
+        return handle.read()
+
+
+setup(
+    name="berry-repro",
+    version=read_version(),
+    description=(
+        "Reproduction of BERRY: bit-error-robust UAV autonomy under aggressive "
+        "SRAM voltage scaling, with a parallel sweep-execution runtime"
+    ),
+    long_description=read_long_description(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    extras_require={
+        "test": ["pytest>=7", "pytest-benchmark>=4", "hypothesis>=6"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-runtime = repro.runtime.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.9",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Intended Audience :: Science/Research",
+        "Topic :: Scientific/Engineering",
+    ],
+)

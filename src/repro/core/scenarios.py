@@ -16,14 +16,15 @@ its mission pipeline and (at reduced scale) its navigation environment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
-from repro.core.calibrated import CalibratedRobustnessModel
+from repro.core.calibrated import AutonomyScheme, CalibratedRobustnessModel
 from repro.core.pipeline import MissionPipeline, PipelineConfig
 from repro.envs.navigation import NavigationConfig, NavigationEnv
 from repro.envs.obstacles import ObstacleDensity
 from repro.errors import ConfigurationError
-from repro.uav.platform import CRAZYFLIE, DJI_TELLO, UavPlatform
+from repro.runtime.jobs import ExecutionContext, JobSpec, SweepSpec, job_kind
+from repro.uav.platform import CRAZYFLIE, DJI_TELLO, UavPlatform, get_platform
 
 #: Bit-error levels (percent) at which every scenario is evaluated (Table I columns).
 BIT_ERROR_LEVELS_PERCENT: Tuple[float, ...] = (0.0, 0.01, 0.05, 0.1, 0.5, 1.0)
@@ -38,6 +39,10 @@ DENSITIES: Tuple[ObstacleDensity, ...] = (
     ObstacleDensity.MEDIUM,
     ObstacleDensity.DENSE,
 )
+
+#: Default candidate voltage grid for per-scenario operating-point search; a
+#: coarse subset of the Table II rows (core must not depend on experiments).
+DEFAULT_SCENARIO_VOLTAGES: Tuple[float, ...] = (0.86, 0.83, 0.80, 0.79, 0.77, 0.74, 0.71)
 
 
 @dataclass(frozen=True)
@@ -74,6 +79,35 @@ class Scenario:
     def environment(self, rng: int = 0, observation: str = "vector") -> NavigationEnv:
         return NavigationEnv(self.navigation_config(observation), rng=rng)
 
+    # ------------------------------------------------------------------ spec factories
+    def job_spec(
+        self,
+        candidate_voltages: Sequence[float] = DEFAULT_SCENARIO_VOLTAGES,
+        max_success_drop_pct: float = 1.0,
+    ) -> JobSpec:
+        """A declarative runtime job evaluating this scenario's pipeline.
+
+        The job finds the scenario's best BERRY operating point over
+        ``candidate_voltages`` and reports both schemes' success rates at the
+        scenario's bit-error level — everything is captured as plain data so
+        the engine can hash, cache and distribute it.
+        """
+        return JobSpec(
+            kind="scenario.evaluate",
+            params={
+                # Every field travels explicitly (not just the name) so custom
+                # multipliers or off-grid BER levels round-trip exactly.
+                "scenario": self.name,
+                "density": self.density.value,
+                "platform": self.platform.name,
+                "policy": self.policy_name,
+                "compute_power_multiplier": float(self.compute_power_multiplier),
+                "ber_percent": float(self.ber_percent),
+                "candidate_voltages": [float(v) for v in candidate_voltages],
+                "max_success_drop_pct": float(max_success_drop_pct),
+            },
+        )
+
 
 def iterate_scenarios() -> Iterator[Scenario]:
     """Yield all 72 scenarios in a deterministic order."""
@@ -96,8 +130,114 @@ def scenario_count() -> int:
 
 
 def get_scenario(index: int) -> Scenario:
-    """Scenario number ``index`` (0-based) in the deterministic enumeration order."""
-    scenarios = list(iterate_scenarios())
-    if not 0 <= index < len(scenarios):
-        raise ConfigurationError(f"scenario index must be in [0, {len(scenarios)}), got {index}")
-    return scenarios[index]
+    """Scenario number ``index`` (0-based) in the deterministic enumeration order.
+
+    Decodes the index arithmetically (mixed-radix over the four axes) instead
+    of materialising all 72 scenarios per call.
+    """
+    total = scenario_count()
+    if not 0 <= index < total:
+        raise ConfigurationError(f"scenario index must be in [0, {total}), got {index}")
+    index, ber_index = divmod(index, len(BIT_ERROR_LEVELS_PERCENT))
+    index, policy_index = divmod(index, len(POLICY_VARIANTS))
+    density_index, platform_index = divmod(index, len(PLATFORMS))
+    policy_name, multiplier = POLICY_VARIANTS[policy_index]
+    return Scenario(
+        density=DENSITIES[density_index],
+        platform=PLATFORMS[platform_index],
+        policy_name=policy_name,
+        compute_power_multiplier=multiplier,
+        ber_percent=BIT_ERROR_LEVELS_PERCENT[ber_index],
+    )
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Look up a scenario by its ``density/platform/policy/p=X%`` name.
+
+    Parses the name instead of scanning the enumeration, so lookups stay O(1)
+    no matter how large the scenario grid grows.
+    """
+    parts = name.split("/")
+    if len(parts) != 4 or not parts[3].startswith("p=") or not parts[3].endswith("%"):
+        raise ConfigurationError(
+            f"malformed scenario name {name!r}; expected 'density/platform/policy/p=X%'"
+        )
+    density_name, platform_name, policy_name, ber_part = parts
+    try:
+        density = ObstacleDensity(density_name)
+    except ValueError:
+        raise ConfigurationError(f"unknown obstacle density {density_name!r} in {name!r}") from None
+    platform = get_platform(platform_name)
+    variants: Dict[str, float] = dict(POLICY_VARIANTS)
+    if policy_name not in variants:
+        raise ConfigurationError(
+            f"unknown policy {policy_name!r}; expected one of {sorted(variants)}"
+        )
+    try:
+        ber_percent = float(ber_part[2:-1])
+    except ValueError:
+        raise ConfigurationError(f"malformed bit-error level {ber_part!r} in {name!r}") from None
+    return Scenario(
+        density=density,
+        platform=platform,
+        policy_name=policy_name,
+        compute_power_multiplier=variants[policy_name],
+        ber_percent=ber_percent,
+    )
+
+
+def scenario_sweep_spec(
+    scenarios: Optional[Sequence[Scenario]] = None,
+    candidate_voltages: Sequence[float] = DEFAULT_SCENARIO_VOLTAGES,
+    max_success_drop_pct: float = 1.0,
+) -> SweepSpec:
+    """A sweep evaluating every scenario (all 72 by default) as one job each."""
+    selected = tuple(scenarios) if scenarios is not None else tuple(iterate_scenarios())
+    return SweepSpec(
+        name="scenarios",
+        description="Best operating point and robustness for each deployment scenario",
+        jobs=tuple(
+            scenario.job_spec(
+                candidate_voltages=candidate_voltages,
+                max_success_drop_pct=max_success_drop_pct,
+            )
+            for scenario in selected
+        ),
+    )
+
+
+@job_kind("scenario.evaluate")
+def _run_scenario_evaluate(spec: JobSpec, context: ExecutionContext) -> Dict[str, object]:
+    """Evaluate one scenario: best BERRY operating point + success at its BER."""
+    params = spec.params
+    scenario = Scenario(
+        density=ObstacleDensity(str(params["density"])),
+        platform=get_platform(str(params["platform"])),
+        policy_name=str(params["policy"]),
+        compute_power_multiplier=float(params["compute_power_multiplier"]),
+        ber_percent=float(params["ber_percent"]),
+    )
+    robustness = context.get("robustness")
+    pipeline = scenario.pipeline(robustness)
+    classical = pipeline.provider_for_scheme(AutonomyScheme.CLASSICAL)
+    berry = pipeline.provider_for_scheme(AutonomyScheme.BERRY)
+    best = pipeline.best_operating_point(
+        [float(v) for v in params["candidate_voltages"]],
+        success_provider=berry,
+        max_success_drop_pct=float(params["max_success_drop_pct"]),
+    )
+    return {
+        "scenario": scenario.name,
+        "environment": scenario.density.value,
+        "uav": scenario.platform.name,
+        "policy": scenario.policy_name,
+        "ber_percent": scenario.ber_percent,
+        "classical_success_pct": 100.0 * classical(scenario.ber_percent),
+        "berry_success_pct": 100.0 * berry(scenario.ber_percent),
+        "best_voltage_vmin": best.normalized_voltage,
+        "energy_savings_x": best.processing_energy_savings,
+        "flight_energy_j": best.flight_energy_j,
+        "flight_energy_change_pct": best.flight_energy_change_pct,
+        "num_missions": best.num_missions,
+        "missions_change_pct": best.missions_change_pct,
+    }

@@ -77,12 +77,22 @@ def run_episodes(
     num_episodes: int,
     epsilon: float = 0.0,
     rng: SeedLike = 0,
+    reset_seed: Optional[int] = None,
 ) -> List[EpisodeResult]:
-    """Run ``num_episodes`` episodes and return their results."""
+    """Run ``num_episodes`` episodes and return their results.
+
+    When ``reset_seed`` is given, episode ``i`` resets the environment with
+    ``reset_seed + i`` — each episode gets a *distinct but deterministic*
+    world draw, so replaying any slice of a batch (e.g. on another worker of
+    a parallel sweep) reproduces exactly the same episodes.
+    """
     generator = as_generator(rng)
     results: List[EpisodeResult] = []
-    for _ in range(num_episodes):
-        results.append(run_episode(env, policy, epsilon=epsilon, rng=generator))
+    for index in range(num_episodes):
+        episode_seed = None if reset_seed is None else int(reset_seed) + index
+        results.append(
+            run_episode(env, policy, epsilon=epsilon, rng=generator, reset_seed=episode_seed)
+        )
     return results
 
 

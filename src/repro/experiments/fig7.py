@@ -5,16 +5,25 @@ The figure's table reports, for each (UAV, policy) pair, the rotor/compute
 power split and the flight-energy reduction and missions increase BERRY
 achieves at its best low-voltage operating point; the figure's curves sweep
 the Tello's success rate, flight energy and missions across voltages.
+
+Both halves are expressed as runtime sweeps: one ``fig7.config_row`` job per
+(UAV, policy) configuration and one ``fig7.sweep_point`` job per voltage of
+the Tello curve.  Custom :class:`~repro.uav.platform.UavPlatform` objects
+that are not in the platform registry travel through the execution context
+(which disables caching, since their physics are invisible to the job hash).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.core.calibrated import AutonomyScheme
 from repro.core.pipeline import MissionPipeline
+from repro.errors import ConfigurationError
 from repro.experiments.table2 import TABLE_II_VOLTAGES
-from repro.uav.platform import CRAZYFLIE, DJI_TELLO, UavPlatform
+from repro.runtime.engine import run_sweep
+from repro.runtime.jobs import ExecutionContext, JobSpec, SweepSpec, job_kind
+from repro.uav.platform import CRAZYFLIE, DJI_TELLO, UavPlatform, get_platform
 from repro.utils.tables import Table
 
 #: (platform, policy name, compute-power multiplier vs C3F2) rows of Fig. 7's table.
@@ -24,15 +33,89 @@ FIG7_CONFIGURATIONS: Tuple[Tuple[UavPlatform, str, float], ...] = (
     (DJI_TELLO, "C5F4", 1.47),
 )
 
+#: Normalized voltages of the Fig. 7 Tello sweep curves.
+FIG7_TELLO_VOLTAGES: Tuple[float, ...] = (0.76, 0.77, 0.79, 0.80, 0.82, 0.84, 0.86)
 
-def generate_fig7_platforms_models(
+
+def _resolve_platform(name: str, context: ExecutionContext) -> UavPlatform:
+    """A platform by name, preferring caller-supplied overrides."""
+    custom = context.get("platforms") or {}
+    if name in custom:
+        return custom[name]
+    return get_platform(name)
+
+
+def _platform_overrides(platforms: Sequence[UavPlatform]) -> Dict[str, UavPlatform]:
+    """Platforms that the registry cannot reconstruct and must travel by object."""
+    overrides: Dict[str, UavPlatform] = {}
+    for platform in platforms:
+        try:
+            registered = get_platform(platform.name)
+        except ConfigurationError:
+            registered = None
+        if registered != platform:
+            overrides[platform.name] = platform
+    return overrides
+
+
+# ---------------------------------------------------------------------- table half
+def fig7_config_sweep_spec(
     configurations: Sequence[Tuple[UavPlatform, str, float]] = FIG7_CONFIGURATIONS,
-    pipeline: Optional[MissionPipeline] = None,
     candidate_voltages: Sequence[float] = TABLE_II_VOLTAGES,
     max_success_drop_pct: float = 1.0,
+) -> SweepSpec:
+    """The Fig. 7 table grid — one job per (UAV, policy) configuration."""
+    jobs = [
+        JobSpec(
+            kind="fig7.config_row",
+            params={
+                "platform": platform.name,
+                "policy": policy_name,
+                "compute_power_multiplier": float(multiplier),
+                "candidate_voltages": [float(v) for v in candidate_voltages],
+                "max_success_drop_pct": float(max_success_drop_pct),
+            },
+        )
+        for platform, policy_name, multiplier in configurations
+    ]
+    return SweepSpec(
+        name="fig7-configs",
+        description="Fig. 7 effectiveness across UAV platforms and policy architectures",
+        jobs=tuple(jobs),
+    )
+
+
+@job_kind("fig7.config_row")
+def _run_fig7_config_row(spec: JobSpec, context: ExecutionContext) -> Dict[str, Any]:
+    params = spec.params
+    base = context.get("pipeline")
+    if base is None:
+        base = MissionPipeline()
+    platform = _resolve_platform(str(params["platform"]), context)
+    variant = base.for_platform(
+        platform, compute_power_multiplier=float(params["compute_power_multiplier"])
+    )
+    nominal = variant.nominal_operating_point(variant.provider_for_scheme(AutonomyScheme.BERRY))
+    best = variant.best_operating_point(
+        [float(v) for v in params["candidate_voltages"]],
+        scheme=AutonomyScheme.BERRY,
+        max_success_drop_pct=float(params["max_success_drop_pct"]),
+    )
+    return {
+        "uav": platform.name,
+        "policy": params["policy"],
+        "rotor_power_pct": 100.0 * (1.0 - nominal.compute_power_fraction),
+        "compute_power_pct": 100.0 * nominal.compute_power_fraction,
+        "best_voltage_vmin": best.normalized_voltage,
+        "energy_savings_x": best.processing_energy_savings,
+        "flight_energy_reduction_pct": -float(best.flight_energy_change_pct or 0.0),
+        "missions_increase_pct": float(best.missions_change_pct or 0.0),
+    }
+
+
+def assemble_fig7_configs(
+    sweep: SweepSpec, results: Sequence[Optional[Dict[str, Any]]]
 ) -> Table:
-    """Regenerate the Fig. 7 platform/model comparison table."""
-    base = pipeline if pipeline is not None else MissionPipeline()
     table = Table(
         title="Fig. 7: effectiveness across UAV platforms and policy architectures",
         columns=[
@@ -46,36 +129,71 @@ def generate_fig7_platforms_models(
             "missions_increase_pct",
         ],
     )
-    for platform, policy_name, multiplier in configurations:
-        variant = base.for_platform(platform, compute_power_multiplier=multiplier)
-        nominal = variant.nominal_operating_point(
-            variant.provider_for_scheme(AutonomyScheme.BERRY)
-        )
-        best = variant.best_operating_point(
-            candidate_voltages,
-            scheme=AutonomyScheme.BERRY,
-            max_success_drop_pct=max_success_drop_pct,
-        )
-        table.add_row(
-            uav=platform.name,
-            policy=policy_name,
-            rotor_power_pct=100.0 * (1.0 - nominal.compute_power_fraction),
-            compute_power_pct=100.0 * nominal.compute_power_fraction,
-            best_voltage_vmin=best.normalized_voltage,
-            energy_savings_x=best.processing_energy_savings,
-            flight_energy_reduction_pct=-float(best.flight_energy_change_pct or 0.0),
-            missions_increase_pct=float(best.missions_change_pct or 0.0),
-        )
+    table.extend(row for row in results if row is not None)
     return table
 
 
-def generate_fig7_tello_voltage_sweep(
-    normalized_voltages: Sequence[float] = (0.76, 0.77, 0.79, 0.80, 0.82, 0.84, 0.86),
+def generate_fig7_platforms_models(
+    configurations: Sequence[Tuple[UavPlatform, str, float]] = FIG7_CONFIGURATIONS,
     pipeline: Optional[MissionPipeline] = None,
+    candidate_voltages: Sequence[float] = TABLE_II_VOLTAGES,
+    max_success_drop_pct: float = 1.0,
 ) -> Table:
-    """Regenerate the Fig. 7 voltage-sweep curves for the DJI Tello (C3F2)."""
-    base = pipeline if pipeline is not None else MissionPipeline()
-    tello = base.for_platform(DJI_TELLO)
+    """Regenerate the Fig. 7 platform/model comparison table."""
+    sweep = fig7_config_sweep_spec(
+        configurations=configurations,
+        candidate_voltages=candidate_voltages,
+        max_success_drop_pct=max_success_drop_pct,
+    )
+    overrides: Dict[str, Any] = {}
+    if pipeline is not None:
+        overrides["pipeline"] = pipeline
+    platform_overrides = _platform_overrides([platform for platform, _, _ in configurations])
+    if platform_overrides:
+        overrides["platforms"] = platform_overrides
+    results = run_sweep(sweep, context=ExecutionContext(overrides=overrides))
+    return assemble_fig7_configs(sweep, results)
+
+
+# ---------------------------------------------------------------------- curves half
+def fig7_tello_sweep_spec(
+    normalized_voltages: Sequence[float] = FIG7_TELLO_VOLTAGES,
+) -> SweepSpec:
+    """The Fig. 7 Tello voltage-sweep curves — one job per voltage point."""
+    jobs = [
+        JobSpec(kind="fig7.sweep_point", params={"voltage": float(voltage)})
+        for voltage in normalized_voltages
+    ]
+    return SweepSpec(
+        name="fig7-tello-sweep",
+        description="Fig. 7 DJI Tello success/energy/missions voltage sweep",
+        jobs=tuple(jobs),
+    )
+
+
+@job_kind("fig7.sweep_point")
+def _run_fig7_sweep_point(spec: JobSpec, context: ExecutionContext) -> Dict[str, Any]:
+    base = context.get("pipeline")
+    if base is None:
+        base = MissionPipeline()
+    tello = base.for_platform(_resolve_platform(DJI_TELLO.name, context))
+    classical = tello.provider_for_scheme(AutonomyScheme.CLASSICAL)
+    berry = tello.provider_for_scheme(AutonomyScheme.BERRY)
+    voltage = float(spec.params["voltage"])
+    classical_point = tello.evaluate(voltage, classical)
+    berry_point = tello.evaluate(voltage, berry)
+    return {
+        "voltage_vmin": voltage,
+        "classical_success_pct": classical_point.success_rate_percent,
+        "berry_success_pct": berry_point.success_rate_percent,
+        "berry_flight_energy_j": berry_point.flight_energy_j,
+        "berry_num_missions": berry_point.num_missions,
+    }
+
+
+def assemble_fig7_tello_sweep(
+    sweep: SweepSpec, results: Sequence[Optional[Dict[str, Any]]]
+) -> Table:
     table = Table(
         title="Fig. 7 (curves): DJI Tello success rate, flight energy and missions vs voltage",
         columns=[
@@ -86,17 +204,16 @@ def generate_fig7_tello_voltage_sweep(
             "berry_num_missions",
         ],
     )
-    classical = tello.provider_for_scheme(AutonomyScheme.CLASSICAL)
-    berry = tello.provider_for_scheme(AutonomyScheme.BERRY)
-    for voltage in normalized_voltages:
-        voltage = float(voltage)
-        classical_point = tello.evaluate(voltage, classical)
-        berry_point = tello.evaluate(voltage, berry)
-        table.add_row(
-            voltage_vmin=voltage,
-            classical_success_pct=classical_point.success_rate_percent,
-            berry_success_pct=berry_point.success_rate_percent,
-            berry_flight_energy_j=berry_point.flight_energy_j,
-            berry_num_missions=berry_point.num_missions,
-        )
+    table.extend(row for row in results if row is not None)
     return table
+
+
+def generate_fig7_tello_voltage_sweep(
+    normalized_voltages: Sequence[float] = FIG7_TELLO_VOLTAGES,
+    pipeline: Optional[MissionPipeline] = None,
+) -> Table:
+    """Regenerate the Fig. 7 voltage-sweep curves for the DJI Tello (C3F2)."""
+    sweep = fig7_tello_sweep_spec(normalized_voltages=normalized_voltages)
+    overrides = {"pipeline": pipeline} if pipeline is not None else {}
+    results = run_sweep(sweep, context=ExecutionContext(overrides=overrides))
+    return assemble_fig7_tello_sweep(sweep, results)

@@ -3,14 +3,22 @@
 For each operating voltage the table reports: bit-error rate, processing
 energy savings, task success rate, flight distance/time/energy (with savings
 vs 1 V) and the number of missions per charge (with improvement vs 1 V).
+
+Each row is one independent ``table2.point`` job (the nominal 1 V baseline is
+the ``voltage = null`` job), so the runtime engine can compute the rows in
+parallel and cache them individually.  A caller-supplied pipeline or success
+provider travels through the execution context, which runs serially and
+uncached because such objects are invisible to the job hash.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.core.calibrated import AutonomyScheme
 from repro.core.pipeline import MissionPipeline, SuccessRateProvider
+from repro.runtime.engine import run_sweep
+from repro.runtime.jobs import ExecutionContext, JobSpec, SweepSpec, job_kind
 from repro.utils.tables import Table
 
 #: The normalized voltages (V/Vmin) of Table II's rows, highest to lowest.
@@ -31,20 +39,45 @@ TABLE_II_VOLTAGES: Tuple[float, ...] = (
 )
 
 
-def generate_table2_system_efficiency(
+def table2_sweep_spec(
     normalized_voltages: Sequence[float] = TABLE_II_VOLTAGES,
-    pipeline: Optional[MissionPipeline] = None,
     scheme: AutonomyScheme = AutonomyScheme.BERRY,
-    success_provider: Optional[SuccessRateProvider] = None,
-) -> Table:
-    """Regenerate Table II for the Crazyflie + C3F2 configuration (by default)."""
-    pipeline = pipeline if pipeline is not None else MissionPipeline()
-    points = pipeline.voltage_sweep(
-        normalized_voltages,
-        success_provider=success_provider,
-        scheme=scheme,
-        include_nominal=True,
+    include_nominal: bool = True,
+) -> SweepSpec:
+    """One job per Table II row; ``voltage = None`` encodes the 1 V baseline."""
+    voltages: list = [None] if include_nominal else []
+    voltages.extend(float(v) for v in normalized_voltages)
+    jobs = [
+        JobSpec(kind="table2.point", params={"voltage": voltage, "scheme": scheme.value})
+        for voltage in voltages
+    ]
+    return SweepSpec(
+        name="table2",
+        description="Table II operating and system efficiency vs supply voltage",
+        jobs=tuple(jobs),
     )
+
+
+@job_kind("table2.point")
+def _run_table2_point(spec: JobSpec, context: ExecutionContext) -> Dict[str, Any]:
+    """Evaluate one Table II operating point with baseline-relative deltas."""
+    params = spec.params
+    pipeline = context.get("pipeline")
+    if pipeline is None:
+        pipeline = MissionPipeline()
+    provider: Optional[SuccessRateProvider] = context.get("success_provider")
+    if provider is None:
+        provider = pipeline.provider_for_scheme(AutonomyScheme(str(params["scheme"])))
+    baseline = pipeline.nominal_operating_point(provider)
+    voltage = params["voltage"]
+    if voltage is None:
+        point = baseline
+    else:
+        point = pipeline.evaluate(float(voltage), provider).with_baseline(baseline)
+    return point.as_table_row()
+
+
+def assemble_table2(sweep: SweepSpec, results: Sequence[Optional[Dict[str, Any]]]) -> Table:
     table = Table(
         title="Table II: operating and system efficiency vs supply voltage (BERRY)",
         columns=[
@@ -60,6 +93,22 @@ def generate_table2_system_efficiency(
             "missions_change_pct",
         ],
     )
-    for point in points:
-        table.add_row(**point.as_table_row())
+    table.extend(row for row in results if row is not None)
     return table
+
+
+def generate_table2_system_efficiency(
+    normalized_voltages: Sequence[float] = TABLE_II_VOLTAGES,
+    pipeline: Optional[MissionPipeline] = None,
+    scheme: AutonomyScheme = AutonomyScheme.BERRY,
+    success_provider: Optional[SuccessRateProvider] = None,
+) -> Table:
+    """Regenerate Table II for the Crazyflie + C3F2 configuration (by default)."""
+    sweep = table2_sweep_spec(normalized_voltages=normalized_voltages, scheme=scheme)
+    overrides: Dict[str, Any] = {}
+    if pipeline is not None:
+        overrides["pipeline"] = pipeline
+    if success_provider is not None:
+        overrides["success_provider"] = success_provider
+    results = run_sweep(sweep, context=ExecutionContext(overrides=overrides))
+    return assemble_table2(sweep, results)

@@ -1,0 +1,51 @@
+"""``repro.runtime`` — the parallel sweep-execution engine.
+
+Declarative :class:`JobSpec`/:class:`SweepSpec` units of work flow through a
+:class:`SweepRunner` that resolves each job from the journal (resume), the
+content-addressed :class:`ResultCache` (re-runs are cache hits) or an
+execution backend (:class:`SerialExecutor` / :class:`MultiprocessExecutor`).
+``python -m repro.runtime`` runs any sweep registered in
+:mod:`repro.runtime.registry`.
+
+This package deliberately does not import the registry at module scope: the
+registry pulls in the experiment modules, which themselves import the core
+spec types from here.
+"""
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.engine import SweepExecutionError, SweepReport, SweepRunner, run_sweep
+from repro.runtime.executor import (
+    Executor,
+    MultiprocessExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.runtime.jobs import (
+    ExecutionContext,
+    JobSpec,
+    SweepSpec,
+    job_kind,
+    registered_kinds,
+    run_job,
+)
+from repro.runtime.journal import Journal, SweepStatus
+
+__all__ = [
+    "ExecutionContext",
+    "Executor",
+    "JobSpec",
+    "Journal",
+    "MultiprocessExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "SweepExecutionError",
+    "SweepReport",
+    "SweepRunner",
+    "SweepSpec",
+    "SweepStatus",
+    "job_kind",
+    "make_executor",
+    "registered_kinds",
+    "run_job",
+    "run_sweep",
+]

@@ -1,0 +1,97 @@
+"""Content-addressed on-disk result cache.
+
+Results are stored as one JSON document per job under
+``<root>/<code-version>/<hash[:2]>/<hash>.json``, keyed by the job's
+:attr:`~repro.runtime.jobs.JobSpec.spec_hash`.  Namespacing by the package
+version means a code change that could alter results invalidates the whole
+cache without any explicit flush; re-running a sweep on unchanged code is a
+pure cache hit.
+
+Writes go through a temp file + ``os.replace`` so a crash mid-write can never
+leave a truncated entry that later reads as a corrupt hit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.utils.serialization import PathLike, save_json
+from repro.version import __version__
+
+#: Environment variable overriding the default cache root.
+CACHE_ENV_VAR = "REPRO_RUNTIME_CACHE"
+
+#: Sentinel distinguishing "no entry" from a legitimately-None cached result.
+MISS = object()
+
+
+def default_cache_root() -> Path:
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "runtime"
+
+
+class ResultCache:
+    """Maps job specs to previously computed results on disk."""
+
+    def __init__(self, root: Optional[PathLike] = None, version: str = __version__) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.version = version
+
+    # ------------------------------------------------------------------ layout
+    @property
+    def version_root(self) -> Path:
+        return self.root / f"v{self.version}"
+
+    def path_for(self, spec) -> Path:
+        digest = spec.spec_hash
+        return self.version_root / digest[:2] / f"{digest}.json"
+
+    # ------------------------------------------------------------------ access
+    def get(self, spec) -> Any:
+        """The cached result for ``spec``, or :data:`MISS`."""
+        path = self.path_for(spec)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return MISS
+        return record.get("result")
+
+    def __contains__(self, spec) -> bool:
+        return self.get(spec) is not MISS
+
+    def put(self, spec, result: Any) -> Path:
+        """Store ``result`` for ``spec`` atomically; returns the entry path."""
+        path = self.path_for(spec)
+        record = {
+            "job_id": spec.job_id,
+            "kind": spec.kind,
+            "params": spec.params,
+            "version": self.version,
+            "result": result,
+        }
+        temp = path.with_name(path.name + ".tmp")
+        save_json(temp, record)
+        os.replace(temp, path)
+        return path
+
+    # ------------------------------------------------------------------ maintenance
+    def __len__(self) -> int:
+        if not self.version_root.exists():
+            return 0
+        return sum(1 for _ in self.version_root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry for the current code version; returns the count."""
+        removed = 0
+        if not self.version_root.exists():
+            return removed
+        for entry in self.version_root.glob("*/*.json"):
+            entry.unlink()
+            removed += 1
+        return removed

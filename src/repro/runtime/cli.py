@@ -1,0 +1,178 @@
+"""Command-line front end of the sweep engine.
+
+::
+
+    python -m repro.runtime list
+    python -m repro.runtime run fig5 --workers 4
+    python -m repro.runtime run scenarios --shard 0/4 --workers 2
+    python -m repro.runtime status scenarios
+
+``run`` resolves a registered sweep, executes it through
+:class:`~repro.runtime.engine.SweepRunner` (cached and journaled by default,
+so an interrupted or sharded invocation picks up where it left off), prints
+the assembled table(s) and can write them to JSON.  ``status`` replays a
+sweep's journal without executing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runtime.cache import ResultCache, default_cache_root
+from repro.runtime.engine import SweepExecutionError, SweepReport, SweepRunner
+from repro.runtime.executor import make_executor
+from repro.runtime.journal import Journal, default_journal_dir
+from repro.runtime.registry import get_registered_sweep, iter_registered_sweeps
+from repro.utils.serialization import save_json
+from repro.utils.tables import Table, format_aligned, format_markdown
+
+
+def _parse_shard(value: str) -> Tuple[int, int]:
+    try:
+        index_text, count_text = value.split("/", 1)
+        return int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard must look like 'i/n' (e.g. 0/4), got {value!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-runtime",
+        description="Run, shard and resume the paper's registered experiment sweeps.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list every registered sweep")
+
+    run = commands.add_parser("run", help="run one registered sweep")
+    run.add_argument("sweep", help="registered sweep name (see 'list')")
+    run.add_argument("--workers", type=int, default=None, help="worker processes (default: serial)")
+    run.add_argument("--shard", type=_parse_shard, default=None, metavar="I/N",
+                     help="run only every N-th job starting at I")
+    run.add_argument("--cache-dir", type=Path, default=None,
+                     help=f"result cache root (default: {default_cache_root()})")
+    run.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    run.add_argument("--journal-dir", type=Path, default=None,
+                     help=f"journal directory (default: {default_journal_dir()})")
+    run.add_argument("--no-journal", action="store_true", help="disable progress journaling")
+    run.add_argument("--no-resume", action="store_true",
+                     help="ignore journaled results from earlier runs")
+    run.add_argument("--output", type=Path, default=None,
+                     help="write the assembled table(s) to this JSON file")
+    run.add_argument("--format", choices=("aligned", "markdown", "none"), default="aligned",
+                     help="how to print tables (default: aligned)")
+    run.add_argument("--quiet", action="store_true", help="suppress the run summary line")
+
+    status = commands.add_parser("status", help="show a sweep's journaled progress")
+    status.add_argument("sweep", help="registered sweep name")
+    status.add_argument("--journal-dir", type=Path, default=None)
+    return parser
+
+
+def _tables_of(assembled: Any) -> List[Table]:
+    if isinstance(assembled, Table):
+        return [assembled]
+    if isinstance(assembled, (list, tuple)):
+        return [item for item in assembled if isinstance(item, Table)]
+    return []
+
+
+def _print_tables(assembled: Any, fmt: str, stream) -> None:
+    if fmt == "none":
+        return
+    renderer = format_markdown if fmt == "markdown" else format_aligned
+    for table in _tables_of(assembled):
+        print(renderer(table), file=stream)
+        print(file=stream)
+
+
+def _cmd_list(stream) -> int:
+    for entry in iter_registered_sweeps():
+        jobs = len(entry.spec())
+        print(f"{entry.name:<12} {jobs:>4} jobs  {entry.description}", file=stream)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, stream) -> int:
+    entry = get_registered_sweep(args.sweep)
+    sweep = entry.spec()
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    journal_dir = None if args.no_journal else (args.journal_dir or default_journal_dir())
+    runner = SweepRunner(
+        executor=make_executor(args.workers),
+        cache=cache,
+        journal_dir=journal_dir,
+        resume=not args.no_resume,
+    )
+    try:
+        report: SweepReport = runner.run(sweep, shard=args.shard)
+    except SweepExecutionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(report.describe(), file=stream)
+    if report.complete:
+        assembled = entry.assemble(sweep, report.results)
+        _print_tables(assembled, args.format, stream)
+        if args.output is not None:
+            payload = [table.to_jsonable() for table in _tables_of(assembled)]
+            save_json(args.output, payload[0] if len(payload) == 1 else payload)
+            if not args.quiet:
+                print(f"wrote {args.output}", file=stream)
+    else:
+        done = len(sweep) - report.skipped
+        print(
+            f"partial run: {done}/{len(sweep)} jobs in this shard; run the remaining "
+            "shards (same journal) and re-run without --shard to assemble the table",
+            file=stream,
+        )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace, stream) -> int:
+    entry = get_registered_sweep(args.sweep)
+    sweep = entry.spec()
+    journal = Journal.for_sweep(sweep, args.journal_dir or default_journal_dir())
+    status = journal.status(sweep)
+    print(status.describe(), file=stream)
+    print(f"journal: {journal.path}", file=stream)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    stream = sys.stdout
+    try:
+        if args.command == "list":
+            return _cmd_list(stream)
+        if args.command == "run":
+            return _cmd_run(args, stream)
+        if args.command == "status":
+            return _cmd_status(args, stream)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(
+            "interrupted — completed jobs are journaled; re-run the same command to resume",
+            file=sys.stderr,
+        )
+        return 130
+    except BrokenPipeError:
+        # Reader (e.g. `| head`) went away; not an error worth a traceback.
+        # Point stdout at devnull so the interpreter's exit flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 2  # pragma: no cover - argparse enforces a valid command
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,185 @@
+"""The sweep engine: cache -> journal -> executor orchestration.
+
+:class:`SweepRunner` is the one entry point every consumer shares — the
+refactored experiment generators (serial, no persistence), the CLI (parallel,
+cached, journaled) and the benchmarks.  For each job of a sweep it resolves
+the result from, in order:
+
+1. the sweep's journal (resume of an interrupted/partial/sharded run),
+2. the content-addressed result cache (re-run on unchanged code),
+3. actual execution on the configured backend.
+
+Fresh results are journaled and cached the moment they arrive, so an
+interrupt at any point loses at most the jobs currently in flight.  Runs
+whose :class:`~repro.runtime.jobs.ExecutionContext` carries live overrides
+are non-hermetic and skip both persistence layers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.runtime.cache import MISS, ResultCache
+from repro.runtime.executor import Executor, SerialExecutor
+from repro.runtime.jobs import ExecutionContext, SweepSpec
+from repro.runtime.journal import Journal
+from repro.utils.serialization import PathLike
+
+
+class SweepExecutionError(RuntimeError):
+    """Raised after a sweep finishes dispatching with one or more failed jobs."""
+
+    def __init__(self, sweep: SweepSpec, failures: Sequence[Tuple[str, str]]) -> None:
+        self.sweep = sweep
+        self.failures = list(failures)
+        summary = "; ".join(job_id for job_id, _ in self.failures[:5])
+        super().__init__(
+            f"sweep {sweep.name!r}: {len(self.failures)} of {len(sweep)} jobs failed "
+            f"({summary}{', ...' if len(self.failures) > 5 else ''})\n"
+            + "\n".join(error for _, error in self.failures[:3])
+        )
+
+
+@dataclass
+class SweepReport:
+    """Results plus provenance counters for one engine run."""
+
+    sweep: SweepSpec
+    results: List[Any]          #: one entry per job, in sweep order; None if not run (other shard)
+    executed: int = 0           #: jobs computed fresh this run
+    cache_hits: int = 0         #: jobs resolved from the result cache
+    resumed: int = 0            #: jobs resolved from the journal
+    skipped: int = 0            #: jobs outside this run's shard
+    wall_time_s: float = 0.0
+    journal_path: Optional[str] = None
+    shard: Optional[Tuple[int, int]] = None
+    _result_by_hash: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def complete(self) -> bool:
+        return self.skipped == 0
+
+    def result_for(self, spec) -> Any:
+        return self._result_by_hash.get(spec.spec_hash)
+
+    def describe(self) -> str:
+        shard = f" shard {self.shard[0]}/{self.shard[1]}" if self.shard else ""
+        return (
+            f"{self.sweep.name}{shard}: {len(self.sweep)} jobs — "
+            f"{self.executed} executed, {self.cache_hits} cache hits, "
+            f"{self.resumed} resumed, {self.skipped} skipped "
+            f"in {self.wall_time_s:.2f}s"
+        )
+
+
+def _parse_shard(shard: Optional[Tuple[int, int]]) -> Optional[Tuple[int, int]]:
+    if shard is None:
+        return None
+    index, count = int(shard[0]), int(shard[1])
+    return index, count
+
+
+class SweepRunner:
+    """Runs :class:`SweepSpec` values through cache, journal and executor."""
+
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        cache: Optional[ResultCache] = None,
+        journal_dir: Optional[PathLike] = None,
+        resume: bool = True,
+    ) -> None:
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache
+        self.journal_dir = journal_dir
+        self.resume = resume
+
+    def _journal_for(self, sweep: SweepSpec, hermetic: bool) -> Optional[Journal]:
+        if self.journal_dir is None or not hermetic:
+            return None
+        return Journal.for_sweep(sweep, self.journal_dir)
+
+    def run(
+        self,
+        sweep: SweepSpec,
+        context: Optional[ExecutionContext] = None,
+        shard: Optional[Tuple[int, int]] = None,
+    ) -> SweepReport:
+        """Execute (the selected shard of) ``sweep`` and return a report.
+
+        Raises :class:`SweepExecutionError` after the dispatch loop if any
+        job failed; every job that *did* complete is journaled/cached first,
+        so a follow-up run resumes instead of recomputing.
+        """
+        started = time.perf_counter()
+        context = context if context is not None else ExecutionContext()
+        shard = _parse_shard(shard)
+        report = SweepReport(sweep=sweep, results=[None] * len(sweep), shard=shard)
+        if shard is not None:
+            selected = set(sweep.shard_indices(*shard))
+        else:
+            selected = set(range(len(sweep)))
+        report.skipped = len(sweep) - len(selected)
+
+        use_persistence = context.hermetic
+        journal = self._journal_for(sweep, use_persistence)
+        journaled: dict = {}
+        if journal is not None:
+            journal.record_header(sweep)
+            if self.resume:
+                journaled = journal.load().results
+        cache = self.cache if use_persistence else None
+
+        def settle(index: int, result: Any) -> None:
+            report.results[index] = result
+            report._result_by_hash[sweep.jobs[index].spec_hash] = result
+
+        pending = []
+        for index in sorted(selected):
+            spec = sweep.jobs[index]
+            if spec.spec_hash in journaled:
+                settle(index, journaled[spec.spec_hash])
+                report.resumed += 1
+                continue
+            if cache is not None:
+                cached = cache.get(spec)
+                if cached is not MISS:
+                    settle(index, cached)
+                    report.cache_hits += 1
+                    if journal is not None:
+                        journal.record_result(spec, cached)
+                    continue
+            pending.append((index, spec))
+
+        failures: List[Tuple[str, str]] = []
+        for index, status, payload in self.executor.submit(pending, context):
+            spec = sweep.jobs[index]
+            if status == "ok":
+                settle(index, payload)
+                report.executed += 1
+                if cache is not None:
+                    cache.put(spec, payload)
+                if journal is not None:
+                    journal.record_result(spec, payload)
+            else:
+                failures.append((spec.job_id, str(payload)))
+                if journal is not None:
+                    journal.record_error(spec, str(payload))
+
+        report.wall_time_s = time.perf_counter() - started
+        if journal is not None:
+            report.journal_path = str(journal.path)
+        if failures:
+            raise SweepExecutionError(sweep, failures)
+        return report
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    context: Optional[ExecutionContext] = None,
+    executor: Optional[Executor] = None,
+) -> List[Any]:
+    """Convenience path for generators: run everything, return results in order."""
+    return SweepRunner(executor=executor).run(sweep, context=context).results

@@ -1,0 +1,144 @@
+"""Worker-pool execution backends.
+
+Both backends implement one interface — :meth:`Executor.submit` takes
+``(index, JobSpec)`` pairs and yields ``(index, status, payload)`` triples as
+jobs finish (possibly out of submission order) — so the engine above them is
+oblivious to *where* jobs run:
+
+* :class:`SerialExecutor` runs jobs inline, in order.  It is the default for
+  direct experiment-generator calls and the only backend usable when the
+  :class:`~repro.runtime.jobs.ExecutionContext` carries non-picklable
+  overrides.
+* :class:`MultiprocessExecutor` fans jobs out over a ``multiprocessing`` pool
+  with chunked dispatch.  The context is shipped once per worker via the pool
+  initializer rather than once per job.
+
+Failures never tear down the pool mid-sweep: a runner exception is caught in
+the worker and reported as an ``"error"`` status so the engine can journal
+every completed job before raising.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runtime.jobs import ExecutionContext, JobSpec, run_job
+
+#: (job index, "ok" | "error", result or error message)
+ExecutionEvent = Tuple[int, str, object]
+
+IndexedJob = Tuple[int, JobSpec]
+
+
+def _execute(index: int, spec: JobSpec, context: ExecutionContext) -> ExecutionEvent:
+    try:
+        return index, "ok", run_job(spec, context)
+    except Exception:  # noqa: BLE001 - reported to the engine, re-raised there
+        return index, "error", traceback.format_exc(limit=8)
+
+
+class Executor:
+    """Interface shared by all execution backends."""
+
+    name = "abstract"
+
+    def submit(
+        self, items: Sequence[IndexedJob], context: ExecutionContext
+    ) -> Iterator[ExecutionEvent]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """Run every job inline in the calling process."""
+
+    name = "serial"
+
+    def submit(
+        self, items: Sequence[IndexedJob], context: ExecutionContext
+    ) -> Iterator[ExecutionEvent]:
+        for index, spec in items:
+            yield _execute(index, spec, context)
+
+
+# Worker-side context, installed once per worker by the pool initializer.
+_WORKER_CONTEXT: Optional[ExecutionContext] = None
+
+
+def _init_worker(context: ExecutionContext) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_in_worker(item: IndexedJob) -> ExecutionEvent:
+    index, spec = item
+    context = _WORKER_CONTEXT if _WORKER_CONTEXT is not None else ExecutionContext()
+    return _execute(index, spec, context)
+
+
+def default_worker_count() -> int:
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+class MultiprocessExecutor(Executor):
+    """Fan jobs out over a ``multiprocessing.Pool`` with chunked dispatch."""
+
+    name = "multiprocess"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers if workers is not None else default_worker_count()
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+
+    def _chunk_size(self, total: int) -> int:
+        if self.chunk_size is not None:
+            return max(1, self.chunk_size)
+        # Roughly four chunks per worker balances dispatch overhead against
+        # stragglers on heterogeneous job costs.
+        return max(1, total // (self.workers * 4))
+
+    def submit(
+        self, items: Sequence[IndexedJob], context: ExecutionContext
+    ) -> Iterator[ExecutionEvent]:
+        if not context.hermetic:
+            raise ConfigurationError(
+                "context overrides hold live objects that cannot cross process "
+                "boundaries; run non-hermetic sweeps on the SerialExecutor"
+            )
+        items = list(items)
+        if not items:
+            return
+        if self.workers == 1 or len(items) == 1:
+            # A one-worker pool would only add IPC overhead.
+            yield from SerialExecutor().submit(items, context)
+            return
+        mp_context = multiprocessing.get_context(self.start_method)
+        pool = mp_context.Pool(
+            processes=min(self.workers, len(items)),
+            initializer=_init_worker,
+            initargs=(context,),
+        )
+        try:
+            yield from pool.imap_unordered(
+                _run_in_worker, items, chunksize=self._chunk_size(len(items))
+            )
+        finally:
+            pool.terminate()
+            pool.join()
+
+
+def make_executor(workers: Optional[int] = None) -> Executor:
+    """The conventional knob: ``None``/``0``/``1`` workers -> serial, else a pool."""
+    if workers is None or workers <= 1:
+        return SerialExecutor()
+    return MultiprocessExecutor(workers=workers)

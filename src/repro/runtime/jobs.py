@@ -1,0 +1,202 @@
+"""Declarative, hashable units of sweep work.
+
+The runtime engine never receives callables or live model objects from the
+experiments — it receives :class:`JobSpec` values: a registered *kind* string
+plus a JSON-able parameter mapping.  That makes every job
+
+* **hashable** — :attr:`JobSpec.spec_hash` is a stable SHA-256 over the
+  canonical JSON encoding, usable as a content-addressed cache key,
+* **seedable** — :attr:`JobSpec.seed` derives a deterministic per-job RNG seed
+  from the same hash, so a job produces the same stream no matter which
+  worker (or which shard of which run) executes it,
+* **portable** — specs pickle cheaply across process boundaries, and the
+  worker resolves the kind string back to a runner function on its side.
+
+A :class:`SweepSpec` is an ordered collection of jobs ("evaluate pipeline P
+over voltages V for scenario S", "roll out policy π for N episodes", ...)
+with its own identity hash, which names journals and ties sharded runs of the
+same sweep together.
+
+Experiment modules register their job kinds with the :func:`job_kind`
+decorator; :func:`run_job` dispatches a spec to its runner.  Runners receive
+an :class:`ExecutionContext` carrying optional *non-serialisable* overrides
+(a custom pipeline, a measured success provider).  A context with overrides
+is not *hermetic*: its results depend on objects outside the spec hash, so
+the engine bypasses the cache and the journal for such runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.utils.serialization import canonical_json, stable_hash, to_jsonable
+
+
+@dataclass
+class ExecutionContext:
+    """Objects threaded through to job runners alongside the spec.
+
+    ``overrides`` holds caller-supplied live objects (e.g. a custom
+    :class:`~repro.core.pipeline.MissionPipeline`).  They are invisible to the
+    spec hash, so any run with overrides is treated as non-hermetic and is
+    neither cached nor journaled.
+    """
+
+    overrides: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def hermetic(self) -> bool:
+        """True when results are fully determined by the job specs alone."""
+        return not self.overrides
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.overrides.get(name, default)
+
+
+@dataclass(frozen=True, eq=False)
+class JobSpec:
+    """One declarative unit of work: a registered kind plus JSON-able params."""
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ConfigurationError("a job spec needs a non-empty kind")
+        # Normalise params immediately so hashing/equality never depend on
+        # input container types (tuples vs lists, numpy scalars vs floats).
+        object.__setattr__(self, "params", to_jsonable(dict(self.params)))
+
+    # ------------------------------------------------------------------ identity
+    def canonical(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": self.params}
+
+    @cached_property
+    def spec_hash(self) -> str:
+        """Stable content hash of this job (cache key)."""
+        return stable_hash(self.canonical())
+
+    @cached_property
+    def seed(self) -> int:
+        """Deterministic per-job seed derived from the spec hash."""
+        return int(self.spec_hash[:16], 16) % (2**31 - 1)
+
+    @property
+    def job_id(self) -> str:
+        return f"{self.kind}:{self.spec_hash[:12]}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JobSpec):
+            return NotImplemented
+        return self.kind == other.kind and canonical_json(self.params) == canonical_json(
+            other.params
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.spec_hash))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JobSpec({self.job_id})"
+
+
+@dataclass(frozen=True, eq=False)
+class SweepSpec:
+    """An ordered, named collection of jobs forming one sweep."""
+
+    name: str
+    jobs: Tuple[JobSpec, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a sweep spec needs a non-empty name")
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+
+    @cached_property
+    def sweep_hash(self) -> str:
+        """Identity of the sweep: its name plus every job's content hash.
+
+        Sharded and resumed runs of the same sweep share this hash, which is
+        how they converge on one journal file.
+        """
+        return stable_hash({"name": self.name, "jobs": [job.spec_hash for job in self.jobs]})
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[JobSpec]:
+        return iter(self.jobs)
+
+    def shard_indices(self, shard_index: int, shard_count: int) -> Tuple[int, ...]:
+        """The job indices belonging to shard ``shard_index`` of ``shard_count``."""
+        if shard_count <= 0:
+            raise ConfigurationError(f"shard count must be positive, got {shard_count}")
+        if not 0 <= shard_index < shard_count:
+            raise ConfigurationError(
+                f"shard index must be in [0, {shard_count}), got {shard_index}"
+            )
+        return tuple(range(shard_index, len(self.jobs), shard_count))
+
+
+# ---------------------------------------------------------------------- job kinds
+JobRunner = Callable[[JobSpec, ExecutionContext], Any]
+
+_JOB_KINDS: Dict[str, JobRunner] = {}
+_KINDS_LOADED = False
+
+
+def job_kind(name: str) -> Callable[[JobRunner], JobRunner]:
+    """Register ``name`` as an executable job kind (module-level decorator)."""
+
+    def decorator(runner: JobRunner) -> JobRunner:
+        existing = _JOB_KINDS.get(name)
+        if existing is not None and existing is not runner:
+            raise ConfigurationError(f"job kind {name!r} is already registered")
+        _JOB_KINDS[name] = runner
+        return runner
+
+    return decorator
+
+
+def _ensure_kinds_loaded() -> None:
+    """Import the sweep registry, which imports every kind-defining module.
+
+    Worker processes started with the ``spawn`` method begin with an empty
+    registry; the first :func:`run_job` call populates it.
+    """
+    global _KINDS_LOADED
+    if _KINDS_LOADED:
+        return
+    import repro.runtime.registry  # noqa: F401  (registers job kinds on import)
+
+    # Only marked loaded on success, so a failed import surfaces again on the
+    # next call instead of degenerating into 'unknown job kind' errors.
+    _KINDS_LOADED = True
+
+
+def runner_for(kind: str) -> JobRunner:
+    """Resolve a kind string to its registered runner."""
+    runner = _JOB_KINDS.get(kind)
+    if runner is None:
+        _ensure_kinds_loaded()
+        runner = _JOB_KINDS.get(kind)
+    if runner is None:
+        raise ConfigurationError(
+            f"unknown job kind {kind!r}; registered kinds: {sorted(_JOB_KINDS)}"
+        )
+    return runner
+
+
+def registered_kinds() -> Tuple[str, ...]:
+    _ensure_kinds_loaded()
+    return tuple(sorted(_JOB_KINDS))
+
+
+def run_job(spec: JobSpec, context: Optional[ExecutionContext] = None) -> Any:
+    """Execute one job and return its JSON-able result."""
+    runner = runner_for(spec.kind)
+    result = runner(spec, context if context is not None else ExecutionContext())
+    return to_jsonable(result)

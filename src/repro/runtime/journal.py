@@ -1,0 +1,170 @@
+"""JSONL progress journaling with checkpoint/resume.
+
+Every hermetic sweep run appends to one append-only JSON-lines file named
+after the sweep's identity hash, so interrupted, re-started and *sharded*
+runs of the same sweep all converge on the same journal:
+
+``{"type": "sweep", ...}``
+    Header written once per file: sweep name/hash, job count, code version.
+``{"type": "result", "job": <hash>, "result": ...}``
+    One record per completed job, written the moment the job finishes.
+``{"type": "error", "job": <hash>, "error": ...}``
+    A failed job; failures are re-attempted on the next run.
+
+Resume is simply "replay the journal before executing": completed jobs are
+reloaded from their records and skipped.  Records for jobs no longer in the
+sweep (stale code) are ignored by virtue of content-hash addressing.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.utils.serialization import PathLike, append_jsonl, iter_jsonl
+from repro.version import __version__
+
+from repro.runtime.jobs import JobSpec, SweepSpec
+
+#: Environment variable overriding the default journal directory.
+JOURNAL_ENV_VAR = "REPRO_RUNTIME_JOURNAL"
+
+
+def default_journal_dir() -> Path:
+    override = os.environ.get(JOURNAL_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.cwd() / ".repro_runtime" / "journals"
+
+
+@dataclass
+class JournalState:
+    """Everything a resume needs: per-job results and errors keyed by hash."""
+
+    header: Optional[Dict[str, Any]] = None
+    results: Dict[str, Any] = field(default_factory=dict)
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> int:
+        return len(self.results)
+
+
+@dataclass(frozen=True)
+class SweepStatus:
+    """Progress summary of one sweep's journal (the CLI ``status`` view)."""
+
+    name: str
+    sweep_hash: str
+    total_jobs: int
+    completed: int
+    failed: int
+
+    @property
+    def pending(self) -> int:
+        return max(0, self.total_jobs - self.completed)
+
+    @property
+    def complete(self) -> bool:
+        return self.total_jobs > 0 and self.completed >= self.total_jobs
+
+    def describe(self) -> str:
+        state = "complete" if self.complete else f"{self.pending} pending"
+        failed = f", {self.failed} failed last attempt" if self.failed else ""
+        return f"{self.name}: {self.completed}/{self.total_jobs} jobs done ({state}{failed})"
+
+
+class Journal:
+    """Append-only progress log for one sweep."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+
+    @classmethod
+    def for_sweep(
+        cls,
+        sweep: SweepSpec,
+        directory: Optional[PathLike] = None,
+        version: str = __version__,
+    ) -> "Journal":
+        """The canonical journal for ``sweep`` under the current code version.
+
+        Like the result cache, journals are namespaced by package version:
+        results computed by older code must not be resumed after a version
+        bump (the job params can hash identically while the runner changed).
+        """
+        base = Path(directory) if directory is not None else default_journal_dir()
+        return cls(base / f"{sweep.name}-{sweep.sweep_hash[:10]}-v{version}.jsonl")
+
+    # ------------------------------------------------------------------ writing
+    def record_header(self, sweep: SweepSpec) -> None:
+        """Write the sweep header if this journal file is new."""
+        if self.path.exists():
+            return
+        append_jsonl(
+            self.path,
+            {
+                "type": "sweep",
+                "name": sweep.name,
+                "sweep_hash": sweep.sweep_hash,
+                "total_jobs": len(sweep),
+                "version": __version__,
+            },
+        )
+
+    def record_result(self, spec: JobSpec, result: Any) -> None:
+        append_jsonl(
+            self.path,
+            {"type": "result", "job": spec.spec_hash, "job_id": spec.job_id, "result": result},
+        )
+
+    def record_error(self, spec: JobSpec, error: str) -> None:
+        append_jsonl(
+            self.path,
+            {"type": "error", "job": spec.spec_hash, "job_id": spec.job_id, "error": error},
+        )
+
+    # ------------------------------------------------------------------ reading
+    def load(self) -> JournalState:
+        """Replay the journal into a resumable state snapshot.
+
+        A later success clears an earlier error for the same job and vice
+        versa, so the snapshot reflects each job's *latest* outcome.
+        """
+        state = JournalState()
+        for record in iter_jsonl(self.path):
+            kind = record.get("type")
+            if kind == "sweep" and state.header is None:
+                state.header = record
+            elif kind == "result":
+                state.results[record["job"]] = record.get("result")
+                state.errors.pop(record["job"], None)
+            elif kind == "error":
+                state.errors[record["job"]] = str(record.get("error", ""))
+                state.results.pop(record["job"], None)
+        return state
+
+    def status(self, sweep: Optional[SweepSpec] = None) -> SweepStatus:
+        """Progress against ``sweep`` (or against the journal's own header)."""
+        state = self.load()
+        if sweep is not None:
+            hashes = {job.spec_hash for job in sweep.jobs}
+            completed = sum(1 for digest in state.results if digest in hashes)
+            failed = sum(1 for digest in state.errors if digest in hashes)
+            return SweepStatus(
+                name=sweep.name,
+                sweep_hash=sweep.sweep_hash,
+                total_jobs=len(sweep),
+                completed=completed,
+                failed=failed,
+            )
+        header = state.header or {}
+        return SweepStatus(
+            name=str(header.get("name", self.path.stem)),
+            sweep_hash=str(header.get("sweep_hash", "")),
+            total_jobs=int(header.get("total_jobs", state.completed)),
+            completed=state.completed,
+            failed=len(state.errors),
+        )

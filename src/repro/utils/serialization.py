@@ -9,9 +9,10 @@ and diffed between runs.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Iterator, Union
 
 import numpy as np
 
@@ -42,6 +43,67 @@ def to_jsonable(value: Any) -> Any:
     if isinstance(value, Path):
         return str(value)
     raise TypeError(f"cannot convert {type(value).__name__} to a JSON-serialisable value")
+
+
+def canonical_json(value: Any) -> str:
+    """A canonical, whitespace-free JSON encoding of ``value``.
+
+    Dictionary keys are sorted so that logically equal values — regardless of
+    construction order — encode to the same string.  This is the byte stream
+    the runtime's content-addressed hashes (:func:`stable_hash`) are computed
+    over, so its format must stay stable across sessions.
+    """
+    return json.dumps(to_jsonable(value), sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(value: Any) -> str:
+    """A hex SHA-256 digest of ``value``'s canonical JSON encoding.
+
+    Unlike builtin ``hash()`` this is stable across processes and Python
+    versions, which makes it usable as an on-disk cache key and as a
+    deterministic seed source.
+    """
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def append_jsonl(path: PathLike, record: Any) -> Path:
+    """Append one record to a JSON-lines file, creating parents as needed.
+
+    If the file's previous write was torn (no trailing newline — e.g. the
+    process was killed mid-record), a newline is inserted first so the new
+    record starts on a fresh line instead of being glued onto the fragment.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a+b") as handle:
+        handle.seek(0, 2)
+        if handle.tell() > 0:
+            handle.seek(-1, 2)
+            if handle.read(1) != b"\n":
+                handle.write(b"\n")
+        line = json.dumps(to_jsonable(record), sort_keys=False) + "\n"
+        handle.write(line.encode("utf-8"))
+    return target
+
+
+def iter_jsonl(path: PathLike) -> Iterator[Any]:
+    """Yield records from a JSON-lines file; missing files yield nothing.
+
+    A truncated final line (e.g. from a run interrupted mid-write) is skipped
+    rather than raised, so a journal can always be re-opened for resume.
+    """
+    target = Path(path)
+    if not target.exists():
+        return
+    with target.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
 
 
 def save_json(path: PathLike, value: Any, indent: int = 2) -> Path:

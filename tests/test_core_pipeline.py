@@ -162,6 +162,50 @@ class TestMissionPipeline:
         with pytest.raises(ConfigurationError):
             pipeline.best_operating_point([0.64], scheme=AutonomyScheme.CLASSICAL)
 
+    def test_best_operating_point_minimises_flight_energy_among_eligible(self, pipeline):
+        """With a constant success provider every candidate is eligible, so the
+        winner must be the flight-energy minimiser of the full sweep."""
+        provider = lambda ber_percent: 0.9
+        candidates = [0.86, 0.80, 0.77]
+        best = pipeline.best_operating_point(candidates, success_provider=provider)
+        baseline = pipeline.nominal_operating_point(provider)
+        energies = {
+            v: pipeline.evaluate(v, provider).with_baseline(baseline).flight_energy_j
+            for v in candidates
+        }
+        assert best.flight_energy_j == min(energies.values())
+        assert best.normalized_voltage == min(energies, key=energies.get)
+        assert best.flight_energy_change_pct is not None
+
+    def test_best_operating_point_excludes_over_budget_candidates(self, pipeline):
+        """Candidates violating the drop budget are skipped even when their
+        flight energy is lower (the paper's underlined-point rule)."""
+        from repro.experiments.table2 import TABLE_II_VOLTAGES
+
+        generous = pipeline.best_operating_point(
+            TABLE_II_VOLTAGES, scheme=AutonomyScheme.BERRY, max_success_drop_pct=50.0
+        )
+        strict = pipeline.best_operating_point(
+            TABLE_II_VOLTAGES, scheme=AutonomyScheme.BERRY, max_success_drop_pct=0.5
+        )
+        provider = pipeline.provider_for_scheme(AutonomyScheme.BERRY)
+        baseline = pipeline.nominal_operating_point(provider)
+        assert strict.success_rate >= baseline.success_rate - 0.5 / 100.0
+        assert generous.flight_energy_j <= strict.flight_energy_j
+
+    def test_best_operating_point_zero_budget_with_lossless_provider(self, pipeline):
+        """A provider with no error-induced drop satisfies even a zero budget."""
+        best = pipeline.best_operating_point(
+            [0.86, 0.80], success_provider=lambda ber: 0.88, max_success_drop_pct=0.0
+        )
+        assert best.normalized_voltage in (0.86, 0.80)
+
+    def test_best_operating_point_custom_provider_budget_violation(self, pipeline):
+        """The error path also triggers for measured (non-calibrated) curves."""
+        collapsing = lambda ber_percent: 0.9 if ber_percent == 0.0 else 0.1
+        with pytest.raises(ConfigurationError, match="success-rate drop budget"):
+            pipeline.best_operating_point([0.77, 0.74], success_provider=collapsing)
+
     def test_success_provider_must_return_fraction(self, pipeline):
         with pytest.raises(ConfigurationError):
             pipeline.evaluate(0.8, lambda ber: 50.0)

@@ -1,0 +1,283 @@
+"""Tests for the sweep engine: executors, cache hit/miss, journal resume, CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.fig5 import assemble_fig5, fig5_sweep_spec, generate_fig5_environments
+from repro.runtime.cache import MISS, ResultCache
+from repro.runtime.engine import SweepExecutionError, SweepRunner, run_sweep
+from repro.runtime.executor import MultiprocessExecutor, SerialExecutor, make_executor
+from repro.runtime.jobs import ExecutionContext, JobSpec, SweepSpec, job_kind
+from repro.runtime.journal import Journal
+from repro.utils.serialization import save_json
+
+
+@job_kind("test.double")
+def _double(spec, context):
+    """Test kind: double the input, optionally recording each execution."""
+    log = spec.params.get("log")
+    if log:
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write(f"{spec.params['value']}\n")
+    return {"value": 2 * spec.params["value"]}
+
+
+@job_kind("test.fail_until_marker")
+def _fail_until_marker(spec, context):
+    """Test kind: fail until its marker file exists (then succeed)."""
+    marker = Path(spec.params["marker"])
+    if not marker.exists():
+        marker.write_text("attempted")
+        raise RuntimeError("transient failure (first attempt)")
+    return {"value": spec.params["value"]}
+
+
+def _double_sweep(count, log=None, name="test-double"):
+    params = lambda i: {"value": i, "log": str(log)} if log else {"value": i}
+    return SweepSpec(
+        name=name, jobs=tuple(JobSpec(kind="test.double", params=params(i)) for i in range(count))
+    )
+
+
+def _executions(log: Path):
+    return log.read_text().splitlines() if log.exists() else []
+
+
+class TestExecutors:
+    def test_serial_and_multiprocess_agree(self):
+        sweep = fig5_sweep_spec()
+        serial = SweepRunner(executor=SerialExecutor()).run(sweep).results
+        parallel = SweepRunner(executor=MultiprocessExecutor(workers=2)).run(sweep).results
+        assert serial == parallel
+
+    def test_make_executor_selects_backend(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert isinstance(make_executor(3), MultiprocessExecutor)
+
+    def test_multiprocess_rejects_live_overrides(self):
+        executor = MultiprocessExecutor(workers=2)
+        context = ExecutionContext(overrides={"pipeline": object()})
+        with pytest.raises(ConfigurationError):
+            list(executor.submit([(0, JobSpec(kind="test.double", params={"value": 1}))], context))
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            MultiprocessExecutor(workers=0)
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        spec = JobSpec(kind="test.double", params={"value": 3})
+        assert cache.get(spec) is MISS
+        cache.put(spec, {"value": 6})
+        assert cache.get(spec) == {"value": 6}
+        assert spec in cache
+        assert len(cache) == 1
+
+    def test_keyed_by_code_version(self, tmp_path):
+        spec = JobSpec(kind="test.double", params={"value": 3})
+        ResultCache(root=tmp_path, version="1.0").put(spec, {"value": 6})
+        assert ResultCache(root=tmp_path, version="2.0").get(spec) is MISS
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put(JobSpec(kind="test.double", params={"value": 1}), {"value": 2})
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_engine_cache_hit_on_rerun(self, tmp_path):
+        log = tmp_path / "executions.log"
+        sweep = _double_sweep(4, log=log)
+        runner = SweepRunner(cache=ResultCache(root=tmp_path / "cache"))
+        first = runner.run(sweep)
+        assert (first.executed, first.cache_hits) == (4, 0)
+        second = runner.run(sweep)
+        assert (second.executed, second.cache_hits) == (0, 4)
+        assert second.results == first.results
+        assert len(_executions(log)) == 4  # nothing re-ran
+
+    def test_overrides_bypass_cache(self, tmp_path):
+        log = tmp_path / "executions.log"
+        sweep = _double_sweep(2, log=log)
+        runner = SweepRunner(cache=ResultCache(root=tmp_path / "cache"))
+        context = ExecutionContext(overrides={"anything": object()})
+        runner.run(sweep, context=context)
+        report = runner.run(sweep, context=context)
+        assert report.cache_hits == 0
+        assert len(_executions(log)) == 4  # both runs executed everything
+
+
+class TestJournalResume:
+    def test_resume_after_partial_run(self, tmp_path):
+        log = tmp_path / "executions.log"
+        sweep = _double_sweep(6, log=log)
+        runner = SweepRunner(journal_dir=tmp_path / "journal")
+        partial = runner.run(sweep, shard=(0, 2))
+        assert partial.executed == 3
+        assert not partial.complete
+        full = runner.run(sweep)
+        assert full.resumed == 3
+        assert full.executed == 3
+        assert full.complete
+        assert full.results == [{"value": 2 * i} for i in range(6)]
+        assert len(_executions(log)) == 6  # shard-0 jobs never re-ran
+
+    def test_sharded_runs_share_one_journal(self, tmp_path):
+        sweep = _double_sweep(5)
+        runner = SweepRunner(journal_dir=tmp_path)
+        runner.run(sweep, shard=(0, 2))
+        runner.run(sweep, shard=(1, 2))
+        status = Journal.for_sweep(sweep, tmp_path).status(sweep)
+        assert status.complete
+        replay = runner.run(sweep)
+        assert (replay.resumed, replay.executed) == (5, 0)
+
+    def test_resume_after_failure(self, tmp_path):
+        """A failing job doesn't lose completed work; the retry only re-runs it."""
+        log = tmp_path / "executions.log"
+        marker = tmp_path / "marker"
+        jobs = [JobSpec(kind="test.double", params={"value": i, "log": str(log)}) for i in range(3)]
+        jobs.append(JobSpec(kind="test.fail_until_marker", params={"value": 9, "marker": str(marker)}))
+        sweep = SweepSpec(name="test-flaky", jobs=tuple(jobs))
+        runner = SweepRunner(journal_dir=tmp_path / "journal")
+        with pytest.raises(SweepExecutionError):
+            runner.run(sweep)
+        assert len(_executions(log)) == 3  # the healthy jobs completed and were journaled
+        report = runner.run(sweep)
+        assert report.resumed == 3
+        assert report.executed == 1  # only the previously failed job
+        assert report.results[-1] == {"value": 9}
+        assert len(_executions(log)) == 3
+
+    def test_no_resume_flag_recomputes(self, tmp_path):
+        log = tmp_path / "executions.log"
+        sweep = _double_sweep(2, log=log)
+        SweepRunner(journal_dir=tmp_path / "journal").run(sweep)
+        report = SweepRunner(journal_dir=tmp_path / "journal", resume=False).run(sweep)
+        assert report.executed == 2
+        assert len(_executions(log)) == 4
+
+    def test_resume_after_torn_journal_write(self, tmp_path):
+        """A journal cut mid-record (killed process) resumes cleanly: the torn
+        fragment is skipped and new records start on a fresh line."""
+        sweep = _double_sweep(4)
+        runner = SweepRunner(journal_dir=tmp_path)
+        runner.run(sweep)
+        journal = Journal.for_sweep(sweep, tmp_path)
+        lines = journal.path.read_text().splitlines(keepends=True)
+        # Keep the header + 2 results, then a torn (newline-less) partial record.
+        journal.path.write_text("".join(lines[:3]) + '{"type": "result", "job": "dead')
+        report = runner.run(sweep)
+        assert (report.resumed, report.executed) == (2, 2)
+        assert report.results == [{"value": 2 * i} for i in range(4)]
+        assert journal.status(sweep).complete
+
+    def test_status_without_journal(self, tmp_path):
+        sweep = _double_sweep(2)
+        status = Journal.for_sweep(sweep, tmp_path).status(sweep)
+        assert status.completed == 0
+        assert not status.complete
+
+    def test_journals_are_version_namespaced(self, tmp_path):
+        """Results journaled by an older code version must not be resumed."""
+        sweep = _double_sweep(2)
+        old = Journal.for_sweep(sweep, tmp_path, version="0.0.9")
+        new = Journal.for_sweep(sweep, tmp_path)
+        assert old.path != new.path
+        old.record_header(sweep)
+        for job in sweep.jobs:
+            old.record_result(job, {"value": "stale"})
+        report = SweepRunner(journal_dir=tmp_path).run(sweep)
+        assert report.resumed == 0
+        assert report.executed == 2
+
+
+class TestRunSweepHelper:
+    def test_returns_results_in_order(self):
+        results = run_sweep(_double_sweep(3))
+        assert results == [{"value": 0}, {"value": 2}, {"value": 4}]
+
+    def test_non_hermetic_context_runs_serially(self):
+        results = run_sweep(_double_sweep(2), context=ExecutionContext(overrides={"x": object()}))
+        assert results == [{"value": 0}, {"value": 2}]
+
+
+class TestCli:
+    def _run(self, argv):
+        from repro.runtime.cli import main
+
+        return main(argv)
+
+    def test_list(self, capsys):
+        assert self._run(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "scenarios" in out
+
+    def test_run_fig5_parallel_is_byte_identical_to_serial_path(self, tmp_path):
+        """Acceptance: `run fig5 --workers 2` == refactored serial generator, then cache hits."""
+        cli_output = tmp_path / "fig5_cli.json"
+        argv = [
+            "run", "fig5", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--journal-dir", str(tmp_path / "journal"),
+            "--output", str(cli_output), "--format", "none", "--quiet",
+        ]
+        assert self._run(argv) == 0
+        serial_output = save_json(tmp_path / "fig5_serial.json", generate_fig5_environments().to_jsonable())
+        assert cli_output.read_bytes() == serial_output.read_bytes()
+
+    def test_rerun_completes_via_cache(self, tmp_path, capsys):
+        argv = lambda journal: [
+            "run", "table2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--journal-dir", str(tmp_path / journal),
+            "--format", "none",
+        ]
+        assert self._run(argv("journal-a")) == 0
+        first = capsys.readouterr().out
+        assert "14 executed, 0 cache hits" in first
+        # Fresh journal, warm cache: every job resolves from the cache.
+        assert self._run(argv("journal-b")) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 14 cache hits" in second
+
+    def test_sharded_runs_then_assembly(self, tmp_path, capsys):
+        base = [
+            "run", "fig5", "--no-cache",
+            "--journal-dir", str(tmp_path), "--format", "none", "--quiet",
+        ]
+        assert self._run(base + ["--shard", "0/2"]) == 0
+        assert "partial run" in capsys.readouterr().out
+        assert self._run(base + ["--shard", "1/2"]) == 0
+        capsys.readouterr()
+        assert self._run(["status", "fig5", "--journal-dir", str(tmp_path)]) == 0
+        assert "6/6 jobs done (complete)" in capsys.readouterr().out
+        assert self._run(base) == 0  # assembles from the journal, executes nothing
+
+    def test_status_unknown_sweep(self, capsys):
+        assert self._run(["status", "definitely-not-a-sweep"]) == 2
+        assert "unknown sweep" in capsys.readouterr().err
+
+    def test_run_writes_valid_json(self, tmp_path):
+        output = tmp_path / "table2.json"
+        argv = [
+            "run", "table2", "--no-cache", "--no-journal",
+            "--output", str(output), "--format", "none", "--quiet",
+        ]
+        assert self._run(argv) == 0
+        payload = json.loads(output.read_text())
+        assert payload["title"].startswith("Table II")
+        assert len(payload["rows"]) == 14
+
+
+class TestAssembly:
+    def test_fig5_assembly_matches_generator(self):
+        sweep = fig5_sweep_spec()
+        table = assemble_fig5(sweep, SweepRunner().run(sweep).results)
+        reference = generate_fig5_environments()
+        assert table.to_jsonable() == reference.to_jsonable()

@@ -1,0 +1,188 @@
+"""Tests for the runtime's declarative job specs and spec factories."""
+
+import pickle
+
+import pytest
+
+from repro.core.scenarios import (
+    DEFAULT_SCENARIO_VOLTAGES,
+    Scenario,
+    get_scenario,
+    iterate_scenarios,
+    scenario_by_name,
+    scenario_count,
+    scenario_sweep_spec,
+)
+from repro.envs.navigation import NavigationEnv
+from repro.errors import ConfigurationError
+from repro.experiments.profiles import FAST_PROFILE
+from repro.envs.vector import run_episodes
+from repro.runtime.jobs import ExecutionContext, JobSpec, SweepSpec, run_job
+
+
+class TestJobSpec:
+    def test_hash_is_stable_and_order_insensitive(self):
+        first = JobSpec(kind="demo", params={"a": 1, "b": [1, 2]})
+        second = JobSpec(kind="demo", params={"b": (1, 2), "a": 1})
+        assert first.spec_hash == second.spec_hash
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_different_params_different_hash(self):
+        base = JobSpec(kind="demo", params={"a": 1})
+        assert base.spec_hash != JobSpec(kind="demo", params={"a": 2}).spec_hash
+        assert base.spec_hash != JobSpec(kind="other", params={"a": 1}).spec_hash
+
+    def test_seed_is_deterministic_and_in_range(self):
+        spec = JobSpec(kind="demo", params={"a": 1})
+        again = JobSpec(kind="demo", params={"a": 1})
+        assert spec.seed == again.seed
+        assert 0 <= spec.seed < 2**31 - 1
+        assert spec.seed != JobSpec(kind="demo", params={"a": 2}).seed
+
+    def test_pickle_roundtrip(self):
+        spec = JobSpec(kind="demo", params={"x": [1.5, 2.5], "name": "s"})
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.spec_hash == spec.spec_hash
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec(kind="", params={})
+
+    def test_unknown_kind_rejected_at_run(self):
+        with pytest.raises(ConfigurationError):
+            run_job(JobSpec(kind="no.such.kind", params={}))
+
+
+class TestSweepSpec:
+    def _sweep(self, count=5):
+        return SweepSpec(
+            name="demo",
+            jobs=tuple(JobSpec(kind="demo", params={"i": i}) for i in range(count)),
+        )
+
+    def test_sweep_hash_depends_on_jobs(self):
+        assert self._sweep(5).sweep_hash == self._sweep(5).sweep_hash
+        assert self._sweep(5).sweep_hash != self._sweep(4).sweep_hash
+
+    def test_shard_indices_partition_the_sweep(self):
+        sweep = self._sweep(7)
+        shards = [sweep.shard_indices(i, 3) for i in range(3)]
+        combined = sorted(index for shard in shards for index in shard)
+        assert combined == list(range(7))
+
+    def test_shard_validation(self):
+        sweep = self._sweep(3)
+        with pytest.raises(ConfigurationError):
+            sweep.shard_indices(3, 3)
+        with pytest.raises(ConfigurationError):
+            sweep.shard_indices(0, 0)
+
+
+class TestScenarioIndexing:
+    def test_arithmetic_indexing_matches_enumeration_order(self):
+        for index, expected in enumerate(iterate_scenarios()):
+            assert get_scenario(index) == expected
+
+    def test_index_bounds(self):
+        with pytest.raises(ConfigurationError):
+            get_scenario(-1)
+        with pytest.raises(ConfigurationError):
+            get_scenario(scenario_count())
+
+    def test_scenario_by_name_roundtrip(self):
+        for scenario in iterate_scenarios():
+            assert scenario_by_name(scenario.name) == scenario
+
+    def test_scenario_by_name_rejects_malformed(self):
+        for bad in ("nope", "sparse/crazyflie/C3F2", "sparse/crazyflie/C3F2/p=x%",
+                    "sparse/crazyflie/C9F9/p=0.1%", "swamp/crazyflie/C3F2/p=0.1%"):
+            with pytest.raises(ConfigurationError):
+                scenario_by_name(bad)
+
+
+class TestScenarioSpecFactories:
+    def test_job_spec_is_declarative(self):
+        scenario = get_scenario(10)
+        spec = scenario.job_spec()
+        assert spec.kind == "scenario.evaluate"
+        assert spec.params["scenario"] == scenario.name
+        assert spec.params["candidate_voltages"] == [float(v) for v in DEFAULT_SCENARIO_VOLTAGES]
+
+    def test_sweep_spec_covers_all_scenarios(self):
+        sweep = scenario_sweep_spec()
+        assert len(sweep) == scenario_count()
+        assert len({job.spec_hash for job in sweep.jobs}) == scenario_count()
+
+    def test_scenario_job_executes(self):
+        result = run_job(get_scenario(0).job_spec())
+        assert result["scenario"] == get_scenario(0).name
+        assert 0.0 < result["berry_success_pct"] <= 100.0
+        assert result["berry_success_pct"] >= result["classical_success_pct"]
+
+    def test_custom_scenario_fields_round_trip_through_the_spec(self):
+        """Non-grid multipliers/BER levels must reach the runner, not be
+        silently replaced by the canonical values for the policy name."""
+        from repro.envs.obstacles import ObstacleDensity
+        from repro.uav.platform import CRAZYFLIE
+
+        custom = Scenario(
+            density=ObstacleDensity.SPARSE,
+            platform=CRAZYFLIE,
+            policy_name="C3F2",
+            compute_power_multiplier=2.0,
+            ber_percent=0.1,
+        )
+        spec = custom.job_spec()
+        assert spec.params["compute_power_multiplier"] == 2.0
+        # The same *name* maps to the canonical multiplier 1.0 — the specs and
+        # their results must still be distinguishable.
+        canonical_spec = scenario_by_name(custom.name).job_spec()
+        assert spec.spec_hash != canonical_spec.spec_hash
+        result, canonical = run_job(spec), run_job(canonical_spec)
+        assert result["flight_energy_j"] != canonical["flight_energy_j"]
+
+
+class TestRunEpisodesSeeding:
+    @pytest.fixture
+    def env(self):
+        return NavigationEnv(FAST_PROFILE.navigation, rng=7)
+
+    @pytest.fixture
+    def policy(self):
+        return lambda observation: 0
+
+    def test_reset_seed_makes_batches_reproducible(self, env, policy):
+        first = run_episodes(env, policy, num_episodes=3, rng=1, reset_seed=100)
+        second = run_episodes(env, policy, num_episodes=3, rng=1, reset_seed=100)
+        assert first == second
+
+    def test_each_episode_gets_a_distinct_seed(self, env, policy):
+        from repro.envs.vector import run_episode
+
+        batch = run_episodes(env, policy, num_episodes=3, rng=1, reset_seed=100)
+        replayed = [
+            run_episode(env, policy, rng=1, reset_seed=100 + index) for index in range(3)
+        ]
+        assert batch == replayed
+
+    def test_default_behaviour_unchanged(self, env, policy):
+        results = run_episodes(env, policy, num_episodes=2, rng=5)
+        assert len(results) == 2
+
+
+class TestRolloutJob:
+    def test_rollout_job_is_deterministic(self):
+        from repro.runtime.registry import rollout_sweep_spec
+
+        spec = rollout_sweep_spec(num_episodes=2).jobs[0]
+        assert run_job(spec) == run_job(spec)
+
+    def test_rollout_result_shape(self):
+        from repro.runtime.registry import rollout_sweep_spec
+
+        result = run_job(rollout_sweep_spec(num_episodes=2).jobs[0])
+        assert result["num_episodes"] == 2
+        assert 0.0 <= result["success_rate_pct"] <= 100.0
+        assert result["mean_steps"] > 0
