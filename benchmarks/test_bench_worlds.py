@@ -1,0 +1,86 @@
+"""Benchmark: batched vs scalar obstacle-field queries, and world generation.
+
+The batched ``(N, 2)`` queries of :class:`~repro.envs.obstacles.ObstacleField`
+are the hot path under ray casting and the BFS solvability gate; the scalar
+reference here is the pre-vectorization per-point loop, so the two benchmark
+groups printed side by side are the speedup.
+"""
+
+import numpy as np
+import pytest
+
+from repro.envs.obstacles import ObstacleField
+from repro.envs.sensors import RaySensor
+from repro.worlds import WorldSpec, generate_world
+
+
+@pytest.fixture(scope="module")
+def field() -> ObstacleField:
+    return generate_world(WorldSpec("forest", seed=0)).field
+
+
+@pytest.fixture(scope="module")
+def points(field) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    width, height = field.world_size
+    return rng.uniform(0.0, [width, height], size=(512, 2))
+
+
+def _scalar_clearances(field: ObstacleField, points: np.ndarray) -> np.ndarray:
+    """The pre-vectorization reference: one python-level scan per point."""
+    out = np.empty(len(points))
+    for index, point in enumerate(points):
+        x, y = float(point[0]), float(point[1])
+        width, height = field.world_size
+        wall = min(x, y, width - x, height - y)
+        deltas = field.centers - np.array([x, y])
+        distances = np.sqrt(np.sum(deltas**2, axis=1)) - field.radii
+        out[index] = min(wall, distances.min())
+    return out
+
+
+@pytest.mark.benchmark(group="clearance-512pts")
+def test_bench_clearances_scalar_loop(benchmark, field, points):
+    result = benchmark(_scalar_clearances, field, points)
+    assert result.shape == (512,)
+
+
+@pytest.mark.benchmark(group="clearance-512pts")
+def test_bench_clearances_batched(benchmark, field, points):
+    result = benchmark(field.clearances, points)
+    assert np.allclose(result, _scalar_clearances(field, points))
+
+
+def _scalar_sense(sensor: RaySensor, field: ObstacleField, position: np.ndarray) -> np.ndarray:
+    """The pre-vectorization RaySensor loop: one ray march per ray."""
+    readings = np.empty(sensor.num_rays)
+    for index, relative_angle in enumerate(sensor.ray_angles):
+        direction = np.array([np.cos(relative_angle), np.sin(relative_angle)])
+        distance = sensor.step_m
+        while distance < sensor.max_range_m:
+            if field.collides(position + distance * direction):
+                break
+            distance += sensor.step_m
+        readings[index] = min(distance, sensor.max_range_m) / sensor.max_range_m
+    return readings
+
+
+@pytest.mark.benchmark(group="ray-sense-12rays")
+def test_bench_ray_sense_scalar_loop(benchmark, field):
+    sensor = RaySensor(num_rays=12, max_range_m=6.0, step_m=0.1)
+    result = benchmark(_scalar_sense, sensor, field, np.array([2.0, 10.0]))
+    assert result.shape == (12,)
+
+
+@pytest.mark.benchmark(group="ray-sense-12rays")
+def test_bench_ray_sense_batched(benchmark, field):
+    sensor = RaySensor(num_rays=12, max_range_m=6.0, step_m=0.1)
+    result = benchmark(sensor.sense, field, np.array([2.0, 10.0]), 0.0)
+    assert result.shape == (12,)
+
+
+@pytest.mark.benchmark(group="world-generation")
+@pytest.mark.parametrize("family", ["corridor", "forest", "urban", "rooms", "dynamic"])
+def test_bench_generate_world(benchmark, family):
+    world = benchmark(generate_world, WorldSpec(family, seed=0))
+    assert world.field.num_obstacles > 0

@@ -11,11 +11,19 @@ the cross product of
 
 :func:`iterate_scenarios` enumerates them; each scenario knows how to build
 its mission pipeline and (at reduced scale) its navigation environment.
+
+:class:`GeneralizedScenario` lifts the environment axis beyond the three
+fixed densities: any procedurally generated :class:`~repro.worlds.spec.WorldSpec`
+world (corridor, forest, urban, rooms, dynamic, ...) can take the density's
+place, with the world's measured geometry mapped onto the calibrated
+robustness curves.  The ``generalization`` sweep in
+:mod:`repro.experiments.generalization` enumerates thousands of them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.core.calibrated import AutonomyScheme, CalibratedRobustnessModel
@@ -25,6 +33,10 @@ from repro.envs.obstacles import ObstacleDensity
 from repro.errors import ConfigurationError
 from repro.runtime.jobs import ExecutionContext, JobSpec, SweepSpec, job_kind
 from repro.uav.platform import CRAZYFLIE, DJI_TELLO, UavPlatform, get_platform
+from repro.worlds.metrics import world_metrics
+from repro.worlds.perturbations import Perturbation
+from repro.worlds.registry import generate_world
+from repro.worlds.spec import WorldSpec
 
 #: Bit-error levels (percent) at which every scenario is evaluated (Table I columns).
 BIT_ERROR_LEVELS_PERCENT: Tuple[float, ...] = (0.0, 0.01, 0.05, 0.1, 0.5, 1.0)
@@ -239,5 +251,132 @@ def _run_scenario_evaluate(spec: JobSpec, context: ExecutionContext) -> Dict[str
         "flight_energy_j": best.flight_energy_j,
         "flight_energy_change_pct": best.flight_energy_change_pct,
         "num_missions": best.num_missions,
+        "missions_change_pct": best.missions_change_pct,
+    }
+
+
+# ---------------------------------------------------------------------- generalized scenarios
+@dataclass(frozen=True)
+class GeneralizedScenario:
+    """A deployment scenario whose environment is a procedurally generated world.
+
+    The fixed-density axis of :class:`Scenario` is replaced by a
+    :class:`~repro.worlds.spec.WorldSpec`; platform, policy and bit-error
+    level stay.  The world's measured geometry (grid occupancy) selects the
+    calibrated robustness curve it is evaluated against, and its corridor
+    stretch scales the mission's expected flown distance.
+    """
+
+    world: WorldSpec
+    platform: UavPlatform
+    policy_name: str
+    compute_power_multiplier: float
+    ber_percent: float
+
+    @property
+    def name(self) -> str:
+        return (
+            f"{self.world.name}/{self.platform.name}/{self.policy_name}"
+            f"/p={self.ber_percent:g}%"
+        )
+
+    # ------------------------------------------------------------------ factories
+    def navigation_config(
+        self,
+        observation: str = "vector",
+        perturbations: Sequence[Perturbation] = (),
+        randomize_on_reset: bool = False,
+    ) -> NavigationConfig:
+        """A navigation environment living inside this scenario's world."""
+        return NavigationConfig(
+            world_spec=self.world,
+            observation=observation,
+            perturbations=tuple(perturbations),
+            randomize_obstacles_on_reset=randomize_on_reset,
+        )
+
+    def environment(self, rng: int = 0, observation: str = "vector") -> NavigationEnv:
+        return NavigationEnv(self.navigation_config(observation), rng=rng)
+
+    def job_spec(
+        self,
+        candidate_voltages: Sequence[float] = DEFAULT_SCENARIO_VOLTAGES,
+        max_success_drop_pct: float = 1.0,
+    ) -> JobSpec:
+        """A declarative runtime job evaluating this generated-world scenario."""
+        return JobSpec(
+            kind="scenario.generalized",
+            params={
+                "world": self.world.to_jsonable(),
+                "platform": self.platform.name,
+                "policy": self.policy_name,
+                "compute_power_multiplier": float(self.compute_power_multiplier),
+                "ber_percent": float(self.ber_percent),
+                "candidate_voltages": [float(v) for v in candidate_voltages],
+                "max_success_drop_pct": float(max_success_drop_pct),
+            },
+        )
+
+
+@lru_cache(maxsize=128)
+def _world_and_metrics(world_spec: WorldSpec):
+    """World + geometry metrics, memoized: the generalization sweep has 24
+    jobs (platforms x policies x BER levels) per distinct world."""
+    world = generate_world(world_spec)
+    return world, world_metrics(world)
+
+
+@job_kind("scenario.generalized")
+def _run_scenario_generalized(spec: JobSpec, context: ExecutionContext) -> Dict[str, object]:
+    """Evaluate one generated-world scenario.
+
+    Regenerates the world from its spec (any worker produces the identical
+    world), measures its geometry, evaluates the calibrated pipeline at the
+    world's effective difficulty, and reports robustness plus
+    quality-of-flight at the scenario's best BERRY operating point.
+    """
+    params = spec.params
+    world_spec = WorldSpec.from_jsonable(params["world"])
+    _, metrics = _world_and_metrics(world_spec)
+    scenario = GeneralizedScenario(
+        world=world_spec,
+        platform=get_platform(str(params["platform"])),
+        policy_name=str(params["policy"]),
+        compute_power_multiplier=float(params["compute_power_multiplier"]),
+        ber_percent=float(params["ber_percent"]),
+    )
+    robustness = context.get("robustness")
+    base = robustness if robustness is not None else CalibratedRobustnessModel()
+    pipeline = MissionPipeline(
+        PipelineConfig(
+            platform=scenario.platform,
+            compute_power_multiplier=scenario.compute_power_multiplier,
+        ),
+        robustness=base.for_density(metrics.effective_density),
+    )
+    classical = pipeline.provider_for_scheme(AutonomyScheme.CLASSICAL)
+    berry = pipeline.provider_for_scheme(AutonomyScheme.BERRY)
+    best = pipeline.best_operating_point(
+        [float(v) for v in params["candidate_voltages"]],
+        success_provider=berry,
+        max_success_drop_pct=float(params["max_success_drop_pct"]),
+    )
+    return {
+        "scenario": scenario.name,
+        "family": world_spec.family,
+        "world_seed": world_spec.seed,
+        "uav": scenario.platform.name,
+        "policy": scenario.policy_name,
+        "ber_percent": scenario.ber_percent,
+        "num_obstacles": metrics.num_obstacles,
+        "occupancy_pct": 100.0 * metrics.occupancy_fraction,
+        "effective_density": metrics.effective_density.value,
+        "path_stretch": metrics.path_stretch,
+        "expected_path_m": metrics.straight_line_m * metrics.path_stretch,
+        "classical_success_pct": 100.0 * classical(scenario.ber_percent),
+        "berry_success_pct": 100.0 * berry(scenario.ber_percent),
+        "best_voltage_vmin": best.normalized_voltage,
+        "energy_savings_x": best.processing_energy_savings,
+        "flight_energy_change_pct": best.flight_energy_change_pct,
         "missions_change_pct": best.missions_change_pct,
     }

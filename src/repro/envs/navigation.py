@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +26,10 @@ from repro.envs.sensors import OccupancyImager, RaySensor
 from repro.envs.spaces import Box, Discrete
 from repro.utils.rng import SeedLike, as_generator
 
+if TYPE_CHECKING:  # repro.worlds imports this module's package; resolve lazily
+    from repro.worlds.perturbations import Perturbation
+    from repro.worlds.spec import WorldSpec
+
 
 @dataclass(frozen=True)
 class NavigationConfig:
@@ -33,6 +37,15 @@ class NavigationConfig:
 
     world_size: Tuple[float, float] = (20.0, 20.0)
     density: ObstacleDensity = ObstacleDensity.MEDIUM
+    #: When set, the world (obstacles, bounds, start, goal) is compiled from
+    #: this procedural :class:`~repro.worlds.spec.WorldSpec` instead of the
+    #: uniform ``density`` field; ``world_size``/``start``/``goal`` above are
+    #: then ignored in favour of the generated world's geometry.
+    world_spec: Optional["WorldSpec"] = None
+    #: Ordered deployment perturbation layers (wind drift on the dynamics
+    #: step, ray-sensor degradation on each observation), applied on top of
+    #: whichever world is active.
+    perturbations: Tuple["Perturbation", ...] = ()
     start: Tuple[float, float] = (2.0, 10.0)
     goal: Tuple[float, float] = (18.0, 10.0)
     goal_radius_m: float = 1.0
@@ -70,6 +83,15 @@ class NavigationConfig:
             raise ConfigurationError("goal_radius_m must be positive and vehicle_radius_m non-negative")
         if self.start_position_noise_m < 0:
             raise ConfigurationError("start_position_noise_m must be non-negative")
+        object.__setattr__(self, "perturbations", tuple(self.perturbations))
+        if self.perturbations:
+            from repro.worlds.perturbations import SensorDegradation, WindGust
+
+            for perturbation in self.perturbations:
+                if not isinstance(perturbation, (WindGust, SensorDegradation)):
+                    raise ConfigurationError(
+                        f"unknown perturbation type {type(perturbation).__name__}"
+                    )
 
     @property
     def num_actions(self) -> int:
@@ -94,12 +116,15 @@ class NavigationEnv:
         self.config = config
         self._rng = as_generator(rng)
         self.action_space = Discrete(config.num_actions)
+        self._world_spec = config.world_spec
+        self._world_size = config.world_size
         self._start = np.array(config.start, dtype=np.float64)
         self._goal = np.array(config.goal, dtype=np.float64)
-        width, height = config.world_size
-        for name, point in (("start", self._start), ("goal", self._goal)):
-            if not (0 < point[0] < width and 0 < point[1] < height):
-                raise ConfigurationError(f"{name} position {tuple(point)} outside the world {config.world_size}")
+        if config.world_spec is None:
+            width, height = config.world_size
+            for name, point in (("start", self._start), ("goal", self._goal)):
+                if not (0 < point[0] < width and 0 < point[1] < height):
+                    raise ConfigurationError(f"{name} position {tuple(point)} outside the world {config.world_size}")
         self._field = self._generate_field()
         self._heading_options = np.linspace(
             -config.max_heading_change_rad, config.max_heading_change_rad, config.num_heading_actions
@@ -107,24 +132,62 @@ class NavigationEnv:
         self._speed_options = np.linspace(0.2, 1.0, config.num_speed_actions)
         if config.num_speed_actions == 1:
             self._speed_options = np.array([1.0])
+        if config.perturbations:
+            from repro.worlds.perturbations import SensorDegradation, WindGust
+
+            self._wind_layers = tuple(
+                p for p in config.perturbations if isinstance(p, WindGust)
+            )
+            self._sensor_layers = tuple(
+                p for p in config.perturbations if isinstance(p, SensorDegradation)
+            )
+        else:
+            self._wind_layers = ()
+            self._sensor_layers = ()
         self.observation_space = self._build_observation_space()
         # Episode state
         self._position = self._start.copy()
         self._heading = 0.0
         self._steps = 0
+        self._time_s = 0.0
         self._path_length = 0.0
         self._done = True
 
     # ------------------------------------------------------------------ setup helpers
     def _generate_field(self) -> ObstacleField:
+        if self._world_spec is not None:
+            from repro.worlds.registry import generate_world
+
+            world = generate_world(self._world_spec)
+            self._start = world.start.copy()
+            self._goal = world.goal.copy()
+            self._world_size = world.world_size
+            return world.field
+        # The obstacle seed is drawn from the env's RNG *stream* (rather than
+        # handing the generator the stream itself) so the sequence of worlds
+        # is a pure function of the reset seed, independent of how much
+        # randomness field generation happens to consume.
+        obstacle_seed = int(self._rng.integers(0, 2**31 - 1))
         return generate_obstacles(
-            self.config.world_size,
+            self._world_size,
             self.config.density,
             self._start,
             self._goal,
-            rng=self._rng,
+            rng=obstacle_seed,
             vehicle_radius=self.config.vehicle_radius_m,
         )
+
+    @property
+    def _field_is_dynamic(self) -> bool:
+        """True when the active field carries moving obstacles (duck-typed to
+        avoid importing repro.worlds at module load)."""
+        return getattr(self._field, "num_movers", 0) > 0
+
+    def _field_now(self) -> ObstacleField:
+        """The active field frozen at the episode's current time."""
+        if self._field_is_dynamic:
+            return self._field.at_time(self._time_s)
+        return self._field
 
     def _build_observation_space(self) -> Box:
         if self.config.observation == "image":
@@ -135,6 +198,21 @@ class NavigationEnv:
     @property
     def obstacle_field(self) -> ObstacleField:
         return self._field
+
+    @property
+    def world_size(self) -> Tuple[float, float]:
+        """The active world's bounds (the generated world's when a spec is set)."""
+        return self._world_size
+
+    @property
+    def world_spec(self) -> Optional[WorldSpec]:
+        """The spec of the world currently loaded (reseeded on randomized resets)."""
+        return self._world_spec
+
+    @property
+    def time_s(self) -> float:
+        """Episode time in seconds (drives dynamic worlds' moving obstacles)."""
+        return self._time_s
 
     @property
     def goal(self) -> np.ndarray:
@@ -166,11 +244,19 @@ class NavigationEnv:
         if seed is not None:
             self._rng = as_generator(seed)
         if self.config.randomize_obstacles_on_reset:
+            if self.config.world_spec is not None:
+                # A fresh world from the same family/params: the per-reset
+                # world seed comes from the env RNG stream, so two envs with
+                # the same seed replay identical world sequences.
+                self._world_spec = self.config.world_spec.with_seed(
+                    int(self._rng.integers(0, 2**31 - 1))
+                )
             self._field = self._generate_field()
+        self._steps = 0
+        self._time_s = 0.0
         self._position = self._sample_start()
         goal_vector = self._goal - self._position
         self._heading = float(np.arctan2(goal_vector[1], goal_vector[0]))
-        self._steps = 0
         self._path_length = 0.0
         self._done = False
         return self._observe()
@@ -180,9 +266,10 @@ class NavigationEnv:
         noise = self.config.start_position_noise_m
         if noise <= 0.0:
             return self._start.copy()
+        snapshot = self._field_now()
         for _ in range(32):
             candidate = self._start + self._rng.uniform(-noise, noise, size=2)
-            if not self._field.collides(candidate, self.config.vehicle_radius_m):
+            if not snapshot.collides(candidate, self.config.vehicle_radius_m):
                 return candidate
         return self._start.copy()
 
@@ -198,10 +285,27 @@ class NavigationEnv:
         new_position = self._position + displacement * np.array(
             [math.cos(self._heading), math.sin(self._heading)]
         )
+        if self._wind_layers:
+            for wind in self._wind_layers:
+                new_position = new_position + wind.displacement(
+                    self._rng, self.config.step_duration_s
+                )
+            displacement = float(np.linalg.norm(new_position - self._position))
 
-        collided = self._field.segment_collides(
-            self._position, new_position, self.config.vehicle_radius_m
-        )
+        step_end_time = self._time_s + self.config.step_duration_s
+        if self._field_is_dynamic:
+            collided = self._field.segment_collides_timed(
+                self._position,
+                new_position,
+                self._time_s,
+                step_end_time,
+                self.config.vehicle_radius_m,
+            )
+        else:
+            collided = self._field.segment_collides(
+                self._position, new_position, self.config.vehicle_radius_m
+            )
+        self._time_s = step_end_time
         reward = self.config.step_penalty
         terminated = False
         success = False
@@ -230,13 +334,16 @@ class NavigationEnv:
 
     # ------------------------------------------------------------------ observations
     def _observe(self) -> np.ndarray:
+        field_now = self._field_now()
         if self.config.observation == "image":
-            return self.config.imager.render(self._field, self._position, self._heading, self._goal)
-        rays = self.config.ray_sensor.sense(self._field, self._position, self._heading)
+            return self.config.imager.render(field_now, self._position, self._heading, self._goal)
+        rays = self.config.ray_sensor.sense(field_now, self._position, self._heading)
+        for degradation in self._sensor_layers:
+            rays = degradation.apply(rays, self._rng)
         goal_vector = self._goal - self._position
         goal_distance = float(np.linalg.norm(goal_vector))
         goal_bearing = float(np.arctan2(goal_vector[1], goal_vector[0]) - self._heading)
-        scale = float(np.linalg.norm(np.asarray(self.config.world_size)))
+        scale = float(np.linalg.norm(np.asarray(self._world_size)))
         features = np.array(
             [
                 min(1.0, goal_distance / scale),
@@ -252,7 +359,10 @@ class NavigationEnv:
         return float((angle + math.pi) % (2.0 * math.pi) - math.pi)
 
     def __repr__(self) -> str:
+        world = (
+            self._world_spec.name if self._world_spec is not None else self.config.density.value
+        )
         return (
-            f"NavigationEnv(density={self.config.density.value}, world={self.config.world_size}, "
+            f"NavigationEnv(world={world}, size={self._world_size}, "
             f"obstacles={self._field.num_obstacles}, actions={self.action_space.n})"
         )

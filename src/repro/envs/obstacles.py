@@ -64,16 +64,40 @@ class ObstacleField:
         width, height = self.world_size
         return margin <= x <= width - margin and margin <= y <= height - margin
 
-    def clearance(self, position: np.ndarray) -> float:
-        """Distance from ``position`` to the nearest obstacle surface or wall."""
-        x, y = float(position[0]), float(position[1])
+    def clearances(self, points: np.ndarray) -> np.ndarray:
+        """Distance from each of ``points`` (N, 2) to the nearest obstacle or wall.
+
+        The batched form of :meth:`clearance`: one vectorized point-vs-obstacle
+        distance matrix instead of N python-level scans.  This is the hot path
+        under ray casting and the occupancy-grid solvability check.
+        """
+        points = np.asarray(points, dtype=np.float64).reshape(-1, 2)
         width, height = self.world_size
-        wall_distance = min(x, y, width - x, height - y)
+        xs, ys = points[:, 0], points[:, 1]
+        wall_distance = np.minimum(np.minimum(xs, width - xs), np.minimum(ys, height - ys))
         if self.num_obstacles == 0:
             return wall_distance
-        deltas = self.centers - np.array([x, y])
-        distances = np.sqrt(np.sum(deltas**2, axis=1)) - self.radii
-        return float(min(wall_distance, distances.min()))
+        # Chunk the (points x obstacles) distance matrix so wall-heavy worlds
+        # (thousands of circles) times large ray batches stay within a few MB.
+        max_cells = 1 << 20
+        chunk = max(1, max_cells // self.num_obstacles)
+        nearest = np.empty(points.shape[0], dtype=np.float64)
+        for lo in range(0, points.shape[0], chunk):
+            deltas = points[lo : lo + chunk, None, :] - self.centers[None, :, :]
+            distances = np.sqrt(np.sum(deltas**2, axis=2)) - self.radii[None, :]
+            nearest[lo : lo + chunk] = distances.min(axis=1)
+        return np.minimum(wall_distance, nearest)
+
+    def clearance(self, position: np.ndarray) -> float:
+        """Distance from ``position`` to the nearest obstacle surface or wall."""
+        return float(self.clearances(np.asarray(position, dtype=np.float64))[0])
+
+    def collides_many(self, points: np.ndarray, vehicle_radius: float = 0.0) -> np.ndarray:
+        """Boolean collision mask for a batch of ``points`` (N, 2).
+
+        Point ``i`` of the result equals ``collides(points[i], vehicle_radius)``.
+        """
+        return self._collide_mask(points, vehicle_radius)
 
     def collides(self, position: np.ndarray, vehicle_radius: float = 0.0) -> bool:
         """True if a vehicle of ``vehicle_radius`` at ``position`` hits anything."""
@@ -87,28 +111,75 @@ class ObstacleField:
         """Conservatively check a straight motion segment for collisions."""
         start = np.asarray(start, dtype=np.float64)
         end = np.asarray(end, dtype=np.float64)
-        for fraction in np.linspace(0.0, 1.0, max(2, samples)):
-            if self.collides(start + fraction * (end - start), vehicle_radius):
-                return True
-        return False
+        fractions = np.linspace(0.0, 1.0, max(2, samples))
+        points = start[None, :] + fractions[:, None] * (end - start)[None, :]
+        return bool(np.any(self._collide_mask(points, vehicle_radius)))
+
+    def _collide_mask(self, points: np.ndarray, vehicle_radius: float) -> np.ndarray:
+        """Collision mask matching :meth:`collides` semantics (bounds use margin)."""
+        points = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+        width, height = self.world_size
+        xs, ys = points[:, 0], points[:, 1]
+        out = (
+            (xs < vehicle_radius)
+            | (xs > width - vehicle_radius)
+            | (ys < vehicle_radius)
+            | (ys > height - vehicle_radius)
+        )
+        return out | (self.clearances(points) < vehicle_radius)
+
+    def ray_distances(
+        self,
+        origin: np.ndarray,
+        angles: np.ndarray,
+        max_range: float,
+        step: float = 0.1,
+    ) -> np.ndarray:
+        """First-hit distance for a fan of rays, in one batched query.
+
+        Matches :meth:`ray_distance` exactly (march from ``step`` in ``step``
+        increments, capped at ``max_range``) but evaluates every sample point
+        of every ray in a single :meth:`collides_many` call.
+        """
+        if max_range <= 0 or step <= 0:
+            raise ConfigurationError("ray max_range and step must be positive")
+        angles = np.asarray(angles, dtype=np.float64).reshape(-1)
+        origin = np.asarray(origin, dtype=np.float64)
+        marches = np.arange(step, max_range, step, dtype=np.float64)
+        if marches.size == 0:
+            return np.full(angles.size, max_range, dtype=np.float64)
+        directions = np.stack([np.cos(angles), np.sin(angles)], axis=1)  # (R, 2)
+        points = origin[None, None, :] + marches[None, :, None] * directions[:, None, :]
+        hits = self._collide_mask(points.reshape(-1, 2), 0.0).reshape(angles.size, marches.size)
+        any_hit = hits.any(axis=1)
+        first_hit = np.argmax(hits, axis=1)
+        return np.where(any_hit, marches[first_hit], max_range)
 
     def ray_distance(
         self, origin: np.ndarray, angle: float, max_range: float, step: float = 0.1
     ) -> float:
         """Distance along a ray until the first obstacle or wall (capped at ``max_range``)."""
-        if max_range <= 0 or step <= 0:
-            raise ConfigurationError("ray max_range and step must be positive")
-        direction = np.array([np.cos(angle), np.sin(angle)])
-        origin = np.asarray(origin, dtype=np.float64)
-        distance = step
-        while distance < max_range:
-            point = origin + distance * direction
-            if self.collides(point):
-                return distance
-            distance += step
-        return max_range
+        return float(self.ray_distances(origin, np.array([angle]), max_range, step)[0])
 
     # ------------------------------------------------------------------ solvability check
+    def cell_index(self, point: np.ndarray, rows: int, cols: int) -> Tuple[int, int]:
+        """The (row, col) of ``point`` on a rows x cols grid over this world, clamped."""
+        width, height = self.world_size
+        col = min(cols - 1, max(0, int(point[0] / width * cols)))
+        row = min(rows - 1, max(0, int(point[1] / height * rows)))
+        return row, col
+
+    def occupancy_grid(self, vehicle_radius: float = 0.0, cell_size: float = 0.5) -> np.ndarray:
+        """Boolean (rows, cols) occupancy of cell centres, built in one batched query."""
+        width, height = self.world_size
+        cols = max(2, int(np.ceil(width / cell_size)))
+        rows = max(2, int(np.ceil(height / cell_size)))
+        ys = (np.arange(rows) + 0.5) * height / rows
+        xs = (np.arange(cols) + 0.5) * width / cols
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        points = np.stack([grid_x.ravel(), grid_y.ravel()], axis=1)
+        return self.collides_many(points, vehicle_radius).reshape(rows, cols)
+
     def has_free_path(
         self,
         start: np.ndarray,
@@ -117,23 +188,11 @@ class ObstacleField:
         cell_size: float = 0.5,
     ) -> bool:
         """BFS over a coarse occupancy grid to confirm start and goal are connected."""
-        width, height = self.world_size
-        cols = max(2, int(np.ceil(width / cell_size)))
-        rows = max(2, int(np.ceil(height / cell_size)))
-        occupancy = np.zeros((rows, cols), dtype=bool)
-        ys = (np.arange(rows) + 0.5) * height / rows
-        xs = (np.arange(cols) + 0.5) * width / cols
-        for row, y in enumerate(ys):
-            for col, x in enumerate(xs):
-                occupancy[row, col] = self.collides(np.array([x, y]), vehicle_radius)
+        occupancy = self.occupancy_grid(vehicle_radius, cell_size)
+        rows, cols = occupancy.shape
 
-        def cell_of(point: np.ndarray) -> Tuple[int, int]:
-            col = min(cols - 1, max(0, int(point[0] / width * cols)))
-            row = min(rows - 1, max(0, int(point[1] / height * rows)))
-            return row, col
-
-        start_cell = cell_of(np.asarray(start, dtype=np.float64))
-        goal_cell = cell_of(np.asarray(goal, dtype=np.float64))
+        start_cell = self.cell_index(np.asarray(start, dtype=np.float64), rows, cols)
+        goal_cell = self.cell_index(np.asarray(goal, dtype=np.float64), rows, cols)
         occupancy[start_cell] = False
         occupancy[goal_cell] = False
         frontier: deque[Tuple[int, int]] = deque([start_cell])

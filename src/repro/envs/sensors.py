@@ -47,14 +47,15 @@ class RaySensor:
         return np.linspace(-half, half, self.num_rays)
 
     def sense(self, field: ObstacleField, position: np.ndarray, heading: float) -> np.ndarray:
-        """Normalized depth readings in [0, 1] (1 = free space out to max range)."""
-        readings = np.empty(self.num_rays, dtype=np.float64)
-        for index, relative_angle in enumerate(self.ray_angles):
-            distance = field.ray_distance(
-                position, heading + relative_angle, self.max_range_m, self.step_m
-            )
-            readings[index] = distance / self.max_range_m
-        return readings
+        """Normalized depth readings in [0, 1] (1 = free space out to max range).
+
+        All rays (and every march sample along them) go through one batched
+        :meth:`~repro.envs.obstacles.ObstacleField.ray_distances` query.
+        """
+        distances = field.ray_distances(
+            position, heading + self.ray_angles, self.max_range_m, self.step_m
+        )
+        return distances / self.max_range_m
 
 
 @dataclass(frozen=True)
@@ -90,16 +91,15 @@ class OccupancyImager:
         """Render the egocentric observation image (C, H, W) in [0, 1]."""
         size = self.image_size
         image = np.zeros(self.shape, dtype=np.float64)
-        half_window = self.window_m / 2.0
         cos_h, sin_h = np.cos(heading), np.sin(heading)
         # Sample a grid in the vehicle frame: x forward [0, window], y lateral [-w/2, w/2].
         forward = (np.arange(size) + 0.5) / size * self.window_m
         lateral = ((np.arange(size) + 0.5) / size - 0.5) * self.window_m
-        for row, fwd in enumerate(forward):
-            for col, lat in enumerate(lateral):
-                world_x = position[0] + fwd * cos_h - lat * sin_h
-                world_y = position[1] + fwd * sin_h + lat * cos_h
-                image[0, row, col] = 1.0 if field.collides(np.array([world_x, world_y])) else 0.0
+        fwd_grid, lat_grid = np.meshgrid(forward, lateral, indexing="ij")
+        world_x = position[0] + fwd_grid * cos_h - lat_grid * sin_h
+        world_y = position[1] + fwd_grid * sin_h + lat_grid * cos_h
+        points = np.stack([world_x.ravel(), world_y.ravel()], axis=1)
+        image[0] = field.collides_many(points).reshape(size, size).astype(np.float64)
         goal_vector = np.asarray(goal, dtype=np.float64) - np.asarray(position, dtype=np.float64)
         goal_distance = float(np.linalg.norm(goal_vector))
         goal_bearing = float(np.arctan2(goal_vector[1], goal_vector[0]) - heading)

@@ -24,6 +24,7 @@ from repro.experiments.fig3 import generate_fig3_robustness_vs_ber
 from repro.experiments.fig5 import generate_fig5_environments
 from repro.experiments.fig6 import generate_fig6_physics_relations
 from repro.experiments.fig7 import generate_fig7_platforms_models
+from repro.experiments.generalization import generate_generalization_report
 from repro.experiments.table1 import generate_table1_robustness, measure_table1_with_training
 from repro.experiments.table2 import generate_table2_system_efficiency
 from repro.experiments.table3 import generate_table3_profiled_chips

@@ -52,11 +52,13 @@ def _scale_for(values: np.ndarray, config: QuantizationConfig) -> float:
         max_abs = float(magnitudes.max())
     else:
         max_abs = float(np.quantile(magnitudes, config.clip_quantile))
-    if max_abs == 0.0 or not np.isfinite(max_abs):
+    max_code = float(2 ** (config.bits - 1) - 1)
+    if max_abs == 0.0 or not np.isfinite(max_abs) or max_abs / max_code == 0.0:
         # All-zero (or degenerate) tensors still need a valid scale; the codes
-        # will all be zero so the actual value does not matter.
+        # will all be zero so the actual value does not matter.  A subnormal
+        # max_abs whose division underflows to 0.0 lands here too.
         max_abs = 1.0
-    return max_abs / float(2 ** (config.bits - 1) - 1)
+    return max_abs / max_code
 
 
 def quantize(values: np.ndarray, config: QuantizationConfig = QuantizationConfig()) -> QuantizedTensor:

@@ -96,7 +96,7 @@ def _print_tables(assembled: Any, fmt: str, stream) -> None:
 def _cmd_list(stream) -> int:
     for entry in iter_registered_sweeps():
         jobs = len(entry.spec())
-        print(f"{entry.name:<12} {jobs:>4} jobs  {entry.description}", file=stream)
+        print(f"{entry.name:<14} {jobs:>4} jobs  {entry.description}", file=stream)
     return 0
 
 

@@ -225,7 +225,7 @@ def _assemble_scenarios(sweep: SweepSpec, results: Sequence[Any]) -> Table:
 
 def _register_all() -> None:
     from repro.core import scenarios as scenarios_module
-    from repro.experiments import fig5, fig7, table2
+    from repro.experiments import fig5, fig7, generalization, table2
 
     register_sweep(
         "fig5",
@@ -262,6 +262,12 @@ def _register_all() -> None:
         "Reduced-scale deterministic policy rollouts across densities",
         rollout_sweep_spec,
         _assemble_rollouts,
+    )
+    register_sweep(
+        "generalization",
+        "Generated worlds (6 families x 2 presets x 5 seeds) x platforms x policies x BER",
+        generalization.generalization_sweep_spec,
+        generalization.assemble_generalization,
     )
     _register_generator(
         "fig1",

@@ -1,0 +1,377 @@
+"""The built-in procedural world families.
+
+Six generators, each a different deployment archetype beyond the paper's
+uniform circular clutter:
+
+* ``uniform``  — the paper's Fig. 5 field (sparse/medium/dense density),
+* ``corridor`` — narrow-gap walls the vehicle must thread in sequence,
+* ``forest``   — Poisson-disk clutter whose density tightens toward the goal,
+* ``urban``    — axis-aligned city blocks forming street canyons and mazes,
+* ``rooms``    — walled rooms connected by doorways,
+* ``dynamic``  — sparse clutter plus obstacles sweeping waypoint loops.
+
+Every generator samples only from the RNG it is handed (derived from the
+spec hash), keeps obstacles fully inside the world, and leaves a keep-out
+disc around the start and goal; :func:`~repro.worlds.registry.generate_world`
+then enforces the BFS solvability guarantee on top.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.envs.obstacles import ObstacleDensity, ObstacleField, generate_obstacles
+from repro.worlds.dynamic import DynamicObstacleField, MovingObstacle
+from repro.worlds.registry import DEFAULT_VEHICLE_RADIUS_M, GeneratedWorld, world_family
+from repro.worlds.spec import WorldSpec
+
+
+# ---------------------------------------------------------------------- helpers
+def _keepout_filter(
+    centers: List[np.ndarray],
+    radii: List[float],
+    points: Tuple[np.ndarray, ...],
+    keepout_m: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Drop circles intruding on the keep-out disc of any of ``points``."""
+    kept_centers: List[np.ndarray] = []
+    kept_radii: List[float] = []
+    for center, radius in zip(centers, radii):
+        if all(np.linalg.norm(center - point) >= radius + keepout_m for point in points):
+            kept_centers.append(center)
+            kept_radii.append(radius)
+    return np.array(kept_centers).reshape(-1, 2), np.array(kept_radii)
+
+
+def _wall_circles(
+    start: np.ndarray, end: np.ndarray, radius: float, spacing: float
+) -> List[np.ndarray]:
+    """A chain of overlapping circles approximating the wall segment start→end."""
+    start = np.asarray(start, dtype=np.float64)
+    end = np.asarray(end, dtype=np.float64)
+    length = float(np.linalg.norm(end - start))
+    if length <= 0.0:
+        return [start]
+    count = max(2, int(np.ceil(length / spacing)) + 1)
+    fractions = np.linspace(0.0, 1.0, count)
+    return [start + fraction * (end - start) for fraction in fractions]
+
+
+def _world(
+    spec: WorldSpec,
+    field: ObstacleField,
+    start: Tuple[float, float],
+    goal: Tuple[float, float],
+) -> GeneratedWorld:
+    return GeneratedWorld(
+        spec=spec,
+        field=field,
+        start=np.asarray(start, dtype=np.float64),
+        goal=np.asarray(goal, dtype=np.float64),
+        vehicle_radius=DEFAULT_VEHICLE_RADIUS_M,
+    )
+
+
+# ---------------------------------------------------------------------- uniform
+@world_family(
+    "uniform",
+    "The paper's uniform circular clutter at a named Fig. 5 density",
+    defaults={"world_m": (20.0, 20.0), "density": "medium", "keepout_m": 1.5},
+)
+def _generate_uniform(
+    spec: WorldSpec, params: Dict[str, Any], rng: np.random.Generator
+) -> GeneratedWorld:
+    width, height = (float(v) for v in params["world_m"])
+    start = (2.0, height / 2.0)
+    goal = (width - 2.0, height / 2.0)
+    field = generate_obstacles(
+        (width, height),
+        ObstacleDensity(str(params["density"])),
+        np.asarray(start),
+        np.asarray(goal),
+        rng=rng,
+        vehicle_radius=DEFAULT_VEHICLE_RADIUS_M,
+        keepout_radius=float(params["keepout_m"]),
+    )
+    return _world(spec, field, start, goal)
+
+
+# ---------------------------------------------------------------------- corridor
+@world_family(
+    "corridor",
+    "Sequential walls across a corridor, each pierced by one narrow gap",
+    defaults={
+        "world_m": (24.0, 12.0),
+        "num_walls": 4,
+        "gap_m": 2.0,
+        "wall_radius_m": 0.35,
+        "jitter_m": 0.8,
+    },
+)
+def _generate_corridor(
+    spec: WorldSpec, params: Dict[str, Any], rng: np.random.Generator
+) -> GeneratedWorld:
+    width, height = (float(v) for v in params["world_m"])
+    num_walls = int(params["num_walls"])
+    gap = float(params["gap_m"])
+    radius = float(params["wall_radius_m"])
+    jitter = float(params["jitter_m"])
+    start = (1.5, height / 2.0)
+    goal = (width - 1.5, height / 2.0)
+    centers: List[np.ndarray] = []
+    radii: List[float] = []
+    wall_xs = np.linspace(4.0, width - 4.0, max(1, num_walls))
+    for wall_x in wall_xs:
+        x = float(np.clip(wall_x + rng.uniform(-jitter, jitter), 3.0, width - 3.0))
+        gap_center = float(rng.uniform(gap / 2.0 + radius, height - gap / 2.0 - radius))
+        # Two wall segments leave a gap of `gap` metres of free space: the
+        # circle surfaces (not centres) must sit gap/2 from the gap centre.
+        below_top = gap_center - gap / 2.0 - radius
+        above_bottom = gap_center + gap / 2.0 + radius
+        if below_top >= radius:
+            centers.extend(
+                _wall_circles(np.array([x, radius]), np.array([x, below_top]), radius, radius)
+            )
+        if above_bottom <= height - radius:
+            centers.extend(
+                _wall_circles(
+                    np.array([x, above_bottom]), np.array([x, height - radius]), radius, radius
+                )
+            )
+        radii.extend([radius] * (len(centers) - len(radii)))
+    centers_arr, radii_arr = _keepout_filter(
+        centers, radii, (np.asarray(start), np.asarray(goal)), keepout_m=1.2
+    )
+    field = ObstacleField((width, height), centers_arr, radii_arr)
+    return _world(spec, field, start, goal)
+
+
+# ---------------------------------------------------------------------- forest
+@world_family(
+    "forest",
+    "Poisson-disk tree clutter with density tightening toward the goal",
+    defaults={
+        "world_m": (20.0, 20.0),
+        "spacing_start_m": 3.4,
+        "spacing_end_m": 1.8,
+        "radius_range_m": (0.3, 0.65),
+        "keepout_m": 1.6,
+        "candidates": 700,
+    },
+)
+def _generate_forest(
+    spec: WorldSpec, params: Dict[str, Any], rng: np.random.Generator
+) -> GeneratedWorld:
+    width, height = (float(v) for v in params["world_m"])
+    spacing_start = float(params["spacing_start_m"])
+    spacing_end = float(params["spacing_end_m"])
+    radius_low, radius_high = (float(v) for v in params["radius_range_m"])
+    keepout = float(params["keepout_m"])
+    start = (1.2, height / 2.0)
+    goal = (width - 1.2, height / 2.0)
+    start_arr, goal_arr = np.asarray(start), np.asarray(goal)
+    accepted: List[np.ndarray] = []
+    radii: List[float] = []
+    for _ in range(int(params["candidates"])):
+        radius = float(rng.uniform(radius_low, radius_high))
+        candidate = np.array(
+            [rng.uniform(radius, width - radius), rng.uniform(radius, height - radius)]
+        )
+        # Dart throwing against the local minimum spacing (density gradient
+        # along x: sparse near the start, tight near the goal).
+        spacing = spacing_start + (spacing_end - spacing_start) * (candidate[0] / width)
+        if np.linalg.norm(candidate - start_arr) < radius + keepout:
+            continue
+        if np.linalg.norm(candidate - goal_arr) < radius + keepout:
+            continue
+        if accepted and np.min(
+            np.linalg.norm(np.array(accepted) - candidate, axis=1)
+        ) < spacing:
+            continue
+        accepted.append(candidate)
+        radii.append(radius)
+    field = ObstacleField(
+        (width, height), np.array(accepted).reshape(-1, 2), np.array(radii)
+    )
+    return _world(spec, field, start, goal)
+
+
+# ---------------------------------------------------------------------- urban
+@world_family(
+    "urban",
+    "Axis-aligned city blocks forming street canyons (randomly opened plazas)",
+    defaults={
+        "world_m": (24.0, 24.0),
+        "block_m": 4.0,
+        "street_m": 2.4,
+        "open_fraction": 0.25,
+        "wall_radius_m": 0.5,
+    },
+)
+def _generate_urban(
+    spec: WorldSpec, params: Dict[str, Any], rng: np.random.Generator
+) -> GeneratedWorld:
+    width, height = (float(v) for v in params["world_m"])
+    block = float(params["block_m"])
+    street = float(params["street_m"])
+    open_fraction = float(params["open_fraction"])
+    radius = float(params["wall_radius_m"])
+    start = (street / 2.0, street / 2.0)
+    goal = (width - street / 2.0, height - street / 2.0)
+    centers: List[np.ndarray] = []
+    radii: List[float] = []
+    pitch = block + street
+    xs = np.arange(street, width - block + 1e-9, pitch)
+    ys = np.arange(street, height - block + 1e-9, pitch)
+    spacing = radius * 1.4
+    for x0 in xs:
+        for y0 in ys:
+            if rng.random() < open_fraction:
+                continue  # an open plaza instead of a built block
+            # Cover the block with a grid of circles whose surfaces reach the
+            # block edges but stay inside the world.
+            grid_x = np.arange(x0 + radius, x0 + block - radius + 1e-9, spacing)
+            grid_y = np.arange(y0 + radius, y0 + block - radius + 1e-9, spacing)
+            for cx in grid_x:
+                for cy in grid_y:
+                    centers.append(np.array([cx, cy]))
+                    radii.append(radius)
+    centers_arr, radii_arr = _keepout_filter(
+        centers, radii, (np.asarray(start), np.asarray(goal)), keepout_m=0.8
+    )
+    field = ObstacleField((width, height), centers_arr, radii_arr)
+    return _world(spec, field, start, goal)
+
+
+# ---------------------------------------------------------------------- rooms
+@world_family(
+    "rooms",
+    "A grid of walled rooms connected by randomly placed doorways",
+    defaults={
+        "world_m": (20.0, 20.0),
+        "rooms_x": 3,
+        "rooms_y": 3,
+        "door_m": 1.8,
+        "wall_radius_m": 0.3,
+    },
+)
+def _generate_rooms(
+    spec: WorldSpec, params: Dict[str, Any], rng: np.random.Generator
+) -> GeneratedWorld:
+    width, height = (float(v) for v in params["world_m"])
+    rooms_x = max(1, int(params["rooms_x"]))
+    rooms_y = max(1, int(params["rooms_y"]))
+    door = float(params["door_m"])
+    radius = float(params["wall_radius_m"])
+    start = (1.2, 1.2)
+    goal = (width - 1.2, height - 1.2)
+    centers: List[np.ndarray] = []
+    radii: List[float] = []
+    spacing = radius
+
+    def wall_with_door(p0: np.ndarray, p1: np.ndarray) -> None:
+        """One wall segment pierced by a door gap at a random position."""
+        length = float(np.linalg.norm(p1 - p0))
+        if length <= door + 2 * radius:
+            return  # the whole segment is door
+        direction = (p1 - p0) / length
+        door_start = float(rng.uniform(0.0, length - door))
+        if door_start > 2 * radius:
+            centers.extend(_wall_circles(p0, p0 + direction * door_start, radius, spacing))
+        if length - (door_start + door) > 2 * radius:
+            centers.extend(_wall_circles(p0 + direction * (door_start + door), p1, radius, spacing))
+        radii.extend([radius] * (len(centers) - len(radii)))
+
+    room_w, room_h = width / rooms_x, height / rooms_y
+    for i in range(1, rooms_x):  # vertical interior walls
+        x = i * room_w
+        for j in range(rooms_y):
+            y0 = max(j * room_h, radius)
+            y1 = min((j + 1) * room_h, height - radius)
+            wall_with_door(np.array([x, y0]), np.array([x, y1]))
+    for j in range(1, rooms_y):  # horizontal interior walls
+        y = j * room_h
+        for i in range(rooms_x):
+            x0 = max(i * room_w, radius)
+            x1 = min((i + 1) * room_w, width - radius)
+            wall_with_door(np.array([x0, y]), np.array([x1, y]))
+    centers_arr, radii_arr = _keepout_filter(
+        centers, radii, (np.asarray(start), np.asarray(goal)), keepout_m=0.9
+    )
+    field = ObstacleField((width, height), centers_arr, radii_arr)
+    return _world(spec, field, start, goal)
+
+
+# ---------------------------------------------------------------------- dynamic
+@world_family(
+    "dynamic",
+    "Sparse clutter plus obstacles sweeping waypoint loops (time-varying field)",
+    defaults={
+        "world_m": (20.0, 20.0),
+        "num_movers": 4,
+        "mover_radius_m": 0.5,
+        "mover_speed_m_s": 0.8,
+        "static_per_100m2": 1.5,
+        "static_radius_range_m": (0.35, 0.7),
+        "keepout_m": 2.0,
+    },
+)
+def _generate_dynamic(
+    spec: WorldSpec, params: Dict[str, Any], rng: np.random.Generator
+) -> GeneratedWorld:
+    width, height = (float(v) for v in params["world_m"])
+    keepout = float(params["keepout_m"])
+    mover_radius = float(params["mover_radius_m"])
+    radius_low, radius_high = (float(v) for v in params["static_radius_range_m"])
+    start = (1.2, height / 2.0)
+    goal = (width - 1.2, height / 2.0)
+    start_arr, goal_arr = np.asarray(start), np.asarray(goal)
+    # Static clutter, uniformly sampled with keep-out rejection.
+    target = int(round(float(params["static_per_100m2"]) * width * height / 100.0))
+    centers: List[np.ndarray] = []
+    radii: List[float] = []
+    for _ in range(target * 4):
+        if len(centers) >= target:
+            break
+        radius = float(rng.uniform(radius_low, radius_high))
+        candidate = np.array(
+            [rng.uniform(radius, width - radius), rng.uniform(radius, height - radius)]
+        )
+        if np.linalg.norm(candidate - start_arr) < radius + keepout:
+            continue
+        if np.linalg.norm(candidate - goal_arr) < radius + keepout:
+            continue
+        centers.append(candidate)
+        radii.append(radius)
+    # Movers patrol the central band only: constraining waypoint x to
+    # [0.3w, 0.7w] keeps every interpolated loop position (a convex
+    # combination of waypoints) away from the start/goal columns.
+    movers = []
+    for _ in range(int(params["num_movers"])):
+        num_waypoints = int(rng.integers(3, 6))
+        waypoints = np.stack(
+            [
+                rng.uniform(0.3 * width, 0.7 * width, size=num_waypoints),
+                rng.uniform(
+                    mover_radius + 0.5, height - mover_radius - 0.5, size=num_waypoints
+                ),
+            ],
+            axis=1,
+        )
+        movers.append(
+            MovingObstacle(
+                waypoints=waypoints,
+                radius=mover_radius,
+                speed_m_s=float(params["mover_speed_m_s"]),
+                phase_m=float(rng.uniform(0.0, 10.0)),
+            )
+        )
+    field = DynamicObstacleField(
+        world_size=(width, height),
+        centers=np.array(centers).reshape(-1, 2),
+        radii=np.array(radii),
+        movers=tuple(movers),
+    )
+    return _world(spec, field, start, goal)

@@ -1,0 +1,116 @@
+"""Composable deployment perturbations for the navigation environment.
+
+Generated worlds vary *geometry*; perturbation layers vary the *conditions*
+the policy flies under.  Two families are provided, both declarative frozen
+dataclasses that serialise through world/job specs:
+
+* :class:`WindGust` — a constant drift plus per-step Gaussian gusts added to
+  the vehicle's displacement (the dynamics-side disturbance),
+* :class:`SensorDegradation` — per-ray dropout (a dropped ray reads free
+  space, the dangerous failure mode) and Gaussian depth noise on the ray
+  sensor (the perception-side disturbance).
+
+A :class:`NavigationConfig` carries any number of perturbations; the
+environment applies every drift layer in its dynamics step and every sensor
+layer to each observation, drawing randomness from the env's own RNG stream
+so episodes stay reproducible under the runtime's per-episode reset seeding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WindGust:
+    """Constant wind drift plus zero-mean Gaussian gusts (m/s)."""
+
+    drift_m_s: Tuple[float, float] = (0.0, 0.0)
+    gust_std_m_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        drift = tuple(float(v) for v in self.drift_m_s)
+        if len(drift) != 2:
+            raise ConfigurationError(f"wind drift must be a 2-vector, got {self.drift_m_s!r}")
+        object.__setattr__(self, "drift_m_s", drift)
+        if self.gust_std_m_s < 0:
+            raise ConfigurationError(f"gust_std_m_s must be non-negative, got {self.gust_std_m_s}")
+
+    def displacement(self, rng: np.random.Generator, duration_s: float) -> np.ndarray:
+        """Extra displacement (metres) this layer adds over one step."""
+        drift = np.asarray(self.drift_m_s, dtype=np.float64)
+        if self.gust_std_m_s > 0.0:
+            drift = drift + rng.normal(0.0, self.gust_std_m_s, size=2)
+        return drift * float(duration_s)
+
+
+@dataclass(frozen=True)
+class SensorDegradation:
+    """Per-ray dropout and Gaussian noise on normalized depth readings."""
+
+    dropout_prob: float = 0.0
+    noise_std: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dropout_prob <= 1.0:
+            raise ConfigurationError(f"dropout_prob must be in [0, 1], got {self.dropout_prob}")
+        if self.noise_std < 0:
+            raise ConfigurationError(f"noise_std must be non-negative, got {self.noise_std}")
+
+    def apply(self, readings: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Degrade a batch of normalized [0, 1] depth readings."""
+        degraded = np.asarray(readings, dtype=np.float64).copy()
+        if self.noise_std > 0.0:
+            degraded += rng.normal(0.0, self.noise_std, size=degraded.shape)
+        if self.dropout_prob > 0.0:
+            dropped = rng.random(degraded.shape) < self.dropout_prob
+            # A dropped ray returns no echo: it reads max range (free space),
+            # which is exactly the failure that makes obstacles invisible.
+            degraded[dropped] = 1.0
+        return np.clip(degraded, 0.0, 1.0)
+
+
+Perturbation = Union[WindGust, SensorDegradation]
+
+#: kind tag -> perturbation class, for declarative (de)serialisation.
+PERTURBATION_KINDS: Dict[str, type] = {
+    "wind": WindGust,
+    "sensor": SensorDegradation,
+}
+
+
+def perturbation_to_jsonable(perturbation: Perturbation) -> Dict[str, Any]:
+    """Encode a perturbation as ``{"kind": ..., <fields>}`` plain data."""
+    for kind, cls in PERTURBATION_KINDS.items():
+        if isinstance(perturbation, cls):
+            payload: Dict[str, Any] = {"kind": kind}
+            for spec_field in fields(cls):
+                value = getattr(perturbation, spec_field.name)
+                payload[spec_field.name] = list(value) if isinstance(value, tuple) else value
+            return payload
+    raise ConfigurationError(f"unknown perturbation type {type(perturbation).__name__}")
+
+
+def perturbation_from_jsonable(payload: Mapping[str, Any]) -> Perturbation:
+    """Rebuild a perturbation from :func:`perturbation_to_jsonable` output."""
+    kind = payload.get("kind")
+    cls = PERTURBATION_KINDS.get(str(kind))
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown perturbation kind {kind!r}; expected one of {sorted(PERTURBATION_KINDS)}"
+        )
+    kwargs = {key: value for key, value in payload.items() if key != "kind"}
+    try:
+        return cls(**kwargs)
+    except TypeError as error:
+        raise ConfigurationError(f"malformed {kind!r} perturbation payload: {error}") from None
+
+
+def perturbations_from_jsonable(payloads: Sequence[Mapping[str, Any]]) -> Tuple[Perturbation, ...]:
+    """Rebuild an ordered perturbation stack."""
+    return tuple(perturbation_from_jsonable(payload) for payload in payloads)

@@ -1,0 +1,48 @@
+"""ASCII rendering of generated worlds (for examples, logs and debugging)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.envs.obstacles import ObstacleField
+from repro.worlds.registry import GeneratedWorld
+
+
+def ascii_map(
+    field: ObstacleField,
+    start: Optional[np.ndarray] = None,
+    goal: Optional[np.ndarray] = None,
+    cols: int = 60,
+) -> str:
+    """Render the field as text: ``#`` blocked, ``.`` free, ``S``/``G`` marked.
+
+    Rows are printed north-up (largest y first); the aspect ratio follows the
+    world, with cells roughly twice as tall as wide to suit terminal glyphs.
+    """
+    width, height = field.world_size
+    cols = max(8, int(cols))
+    cell = width / cols
+    rows = max(4, int(round(height / (2.0 * cell))))
+    xs = (np.arange(cols) + 0.5) * width / cols
+    ys = (np.arange(rows) + 0.5) * height / rows
+    grid_x, grid_y = np.meshgrid(xs, ys)
+    points = np.stack([grid_x.ravel(), grid_y.ravel()], axis=1)
+    occupancy = field.collides_many(points).reshape(rows, cols)
+    chars = np.where(occupancy, "#", ".")
+
+    def mark(point: Optional[np.ndarray], symbol: str) -> None:
+        if point is None:
+            return
+        row, col = field.cell_index(point, rows, cols)
+        chars[row, col] = symbol
+
+    mark(start, "S")
+    mark(goal, "G")
+    return "\n".join("".join(chars[row]) for row in range(rows - 1, -1, -1))
+
+
+def render_world(world: GeneratedWorld, cols: int = 60, time_s: float = 0.0) -> str:
+    """ASCII map of a generated world (dynamic worlds frozen at ``time_s``)."""
+    return ascii_map(world.field_at(time_s), world.start, world.goal, cols=cols)

@@ -1,0 +1,360 @@
+"""Tests for the procedural world-generation subsystem (repro.worlds)."""
+
+import numpy as np
+import pytest
+
+from repro.core.scenarios import GeneralizedScenario
+from repro.envs.navigation import NavigationConfig, NavigationEnv
+from repro.envs.obstacles import ObstacleField
+from repro.errors import ConfigurationError
+from repro.experiments.generalization import (
+    FAMILY_PRESETS,
+    assemble_generalization,
+    generalization_sweep_spec,
+)
+from repro.runtime.cache import ResultCache
+from repro.runtime.engine import SweepRunner
+from repro.runtime.jobs import run_job
+from repro.runtime.registry import get_registered_sweep
+from repro.uav.platform import CRAZYFLIE
+from repro.worlds import (
+    DynamicObstacleField,
+    MovingObstacle,
+    SensorDegradation,
+    WindGust,
+    WorldSpec,
+    ascii_map,
+    generate_world,
+    get_world_family,
+    perturbation_from_jsonable,
+    perturbation_to_jsonable,
+    registered_families,
+    render_world,
+    validate_world,
+    world_metrics,
+)
+
+REQUIRED_FAMILIES = ("corridor", "forest", "urban", "rooms", "dynamic")
+
+
+class TestWorldSpec:
+    def test_hash_is_stable_and_order_independent(self):
+        a = WorldSpec("corridor", {"gap_m": 1.5, "num_walls": 5}, seed=3)
+        b = WorldSpec("corridor", {"num_walls": 5, "gap_m": 1.5}, seed=3)
+        assert a == b
+        assert a.spec_hash == b.spec_hash
+        assert hash(a) == hash(b)
+
+    def test_hash_depends_on_every_axis(self):
+        base = WorldSpec("forest", {"spacing_end_m": 1.5}, seed=0)
+        assert base.spec_hash != WorldSpec("forest", {"spacing_end_m": 1.5}, seed=1).spec_hash
+        assert base.spec_hash != WorldSpec("forest", {"spacing_end_m": 1.6}, seed=0).spec_hash
+        assert base.spec_hash != WorldSpec("rooms", {}, seed=0).spec_hash
+
+    def test_serialization_round_trip(self):
+        spec = WorldSpec("urban", {"street_m": 2.0, "open_fraction": 0.3}, seed=11)
+        rebuilt = WorldSpec.from_jsonable(spec.to_jsonable())
+        assert rebuilt == spec
+        assert rebuilt.spec_hash == spec.spec_hash
+
+    def test_with_seed(self):
+        spec = WorldSpec("rooms", {"door_m": 2.0}, seed=0)
+        reseeded = spec.with_seed(9)
+        assert reseeded.family == spec.family
+        assert reseeded.params == spec.params
+        assert reseeded.seed == 9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorldSpec("", seed=0)
+        with pytest.raises(ConfigurationError):
+            WorldSpec("corridor", seed=-1)
+        with pytest.raises(ConfigurationError):
+            WorldSpec.from_jsonable({"params": {}})
+
+
+def test_worlds_is_importable_first():
+    """repro.worlds must import cleanly as the *first* repro import.
+
+    Regression guard: worlds -> envs(package) -> navigation once re-imported
+    worlds at module level, which broke any program whose entry point was the
+    worlds package itself.
+    """
+    import os
+    import subprocess
+    import sys
+
+    code = "import repro.worlds, repro.envs, repro.core.scenarios; print('ok')"
+    result = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, env=dict(os.environ)
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == "ok"
+
+
+class TestRegistry:
+    def test_required_families_registered(self):
+        families = registered_families()
+        for name in REQUIRED_FAMILIES:
+            assert name in families
+        assert len(families) >= 5
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_world_family("does-not-exist")
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_world(WorldSpec("corridor", {"gap_mm": 2.0}, seed=0))
+
+    def test_generation_is_deterministic(self):
+        spec = WorldSpec("forest", seed=4)
+        a, b = generate_world(spec), generate_world(spec)
+        assert np.array_equal(a.field.centers, b.field.centers)
+        assert np.array_equal(a.field.radii, b.field.radii)
+        assert np.array_equal(a.start, b.start)
+        assert np.array_equal(a.goal, b.goal)
+
+    def test_generated_worlds_pass_validation(self):
+        for family in registered_families():
+            world = generate_world(WorldSpec(family, seed=1))
+            assert validate_world(world) == []
+
+    def test_validate_world_reports_blocked_start(self):
+        world = generate_world(WorldSpec("uniform", seed=0))
+        blocked = ObstacleField(
+            world.world_size,
+            np.vstack([world.field.centers, world.start[None, :]]),
+            np.concatenate([world.field.radii, [1.0]]),
+        )
+        problems = validate_world(
+            type(world)(spec=world.spec, field=blocked, start=world.start, goal=world.goal)
+        )
+        assert any("start" in problem for problem in problems)
+
+
+class TestDynamicField:
+    def test_mover_follows_waypoints(self):
+        mover = MovingObstacle(
+            waypoints=np.array([[0.0, 0.0], [4.0, 0.0]]), radius=0.5, speed_m_s=1.0
+        )
+        assert np.allclose(mover.position_at(0.0), [0.0, 0.0])
+        assert np.allclose(mover.position_at(2.0), [2.0, 0.0])
+        # The loop closes: 4 m out + 4 m back = 8 m loop.
+        assert np.allclose(mover.position_at(6.0), [2.0, 0.0])
+        assert np.allclose(mover.position_at(8.0), [0.0, 0.0])
+
+    def test_at_time_merges_static_and_movers(self):
+        field = DynamicObstacleField(
+            world_size=(10.0, 10.0),
+            centers=np.array([[2.0, 2.0]]),
+            radii=np.array([0.5]),
+            movers=(
+                MovingObstacle(
+                    waypoints=np.array([[5.0, 5.0], [8.0, 5.0]]), radius=0.4, speed_m_s=1.0
+                ),
+            ),
+        )
+        snapshot = field.at_time(1.0)
+        assert snapshot.num_obstacles == 2
+        assert np.allclose(snapshot.centers[-1], [6.0, 5.0])
+        # The static view ignores movers; the timed view tracks them.
+        assert not field.collides(np.array([6.0, 5.0]))
+        assert snapshot.collides(np.array([6.0, 5.0]))
+
+    def test_segment_collides_timed(self):
+        field = DynamicObstacleField(
+            world_size=(10.0, 10.0),
+            centers=np.empty((0, 2)),
+            radii=np.empty(0),
+            movers=(
+                MovingObstacle(
+                    waypoints=np.array([[5.0, 2.0], [5.0, 8.0]]), radius=0.6, speed_m_s=2.0
+                ),
+            ),
+        )
+        # Crossing x=5 while the mover is near y=5 collides; the same motion
+        # at a time when the mover is far away does not.
+        assert field.segment_collides_timed(
+            np.array([4.0, 5.0]), np.array([6.0, 5.0]), 1.2, 1.8, vehicle_radius=0.25
+        )
+        assert not field.segment_collides_timed(
+            np.array([4.0, 8.0]), np.array([6.0, 8.0]), 0.0, 0.5, vehicle_radius=0.25
+        )
+
+
+class TestPerturbations:
+    def test_wind_displacement(self):
+        wind = WindGust(drift_m_s=(1.0, -0.5), gust_std_m_s=0.0)
+        displacement = wind.displacement(np.random.default_rng(0), duration_s=2.0)
+        assert np.allclose(displacement, [2.0, -1.0])
+
+    def test_sensor_degradation_dropout_reads_free_space(self):
+        degradation = SensorDegradation(dropout_prob=1.0)
+        readings = degradation.apply(np.full(8, 0.2), np.random.default_rng(0))
+        assert np.allclose(readings, 1.0)
+
+    def test_sensor_noise_stays_normalized(self):
+        degradation = SensorDegradation(noise_std=0.5)
+        readings = degradation.apply(np.full(64, 0.5), np.random.default_rng(0))
+        assert readings.min() >= 0.0 and readings.max() <= 1.0
+
+    def test_serialization_round_trip(self):
+        for perturbation in (
+            WindGust(drift_m_s=(0.4, 0.1), gust_std_m_s=0.2),
+            SensorDegradation(dropout_prob=0.1, noise_std=0.05),
+        ):
+            payload = perturbation_to_jsonable(perturbation)
+            assert perturbation_from_jsonable(payload) == perturbation
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            perturbation_from_jsonable({"kind": "earthquake"})
+
+
+class TestNavigationIntegration:
+    def test_env_from_world_spec(self):
+        config = NavigationConfig(world_spec=WorldSpec("corridor", seed=2))
+        env = NavigationEnv(config, rng=0)
+        observation = env.reset(seed=0)
+        assert observation.shape == env.observation_space.shape
+        # The generated world supplies geometry: corridor worlds are 24 x 12.
+        assert env.world_size == (24.0, 12.0)
+        result = env.step(12)
+        assert np.isfinite(result.reward)
+
+    def test_dynamic_world_advances_time(self):
+        config = NavigationConfig(world_spec=WorldSpec("dynamic", seed=3))
+        env = NavigationEnv(config, rng=0)
+        env.reset(seed=0)
+        assert env.time_s == 0.0
+        env.step(12)
+        assert env.time_s == pytest.approx(config.step_duration_s)
+        env.reset(seed=1)
+        assert env.time_s == 0.0
+
+    def test_wind_changes_trajectory_deterministically(self):
+        base = NavigationConfig(world_spec=WorldSpec("forest", seed=1))
+        windy = NavigationConfig(
+            world_spec=WorldSpec("forest", seed=1),
+            perturbations=(WindGust(drift_m_s=(0.0, 0.8)),),
+        )
+        env_base, env_windy = NavigationEnv(base, rng=0), NavigationEnv(windy, rng=0)
+        env_base.reset(seed=0), env_windy.reset(seed=0)
+        env_base.step(12), env_windy.step(12)
+        assert not np.allclose(env_base.position, env_windy.position)
+        env_windy_2 = NavigationEnv(windy, rng=0)
+        env_windy_2.reset(seed=0)
+        env_windy_2.step(12)
+        assert np.allclose(env_windy.position, env_windy_2.position)
+
+    def test_sensor_degradation_applies_to_observation(self):
+        clean = NavigationConfig(world_spec=WorldSpec("forest", seed=1))
+        degraded = NavigationConfig(
+            world_spec=WorldSpec("forest", seed=1),
+            perturbations=(SensorDegradation(dropout_prob=1.0),),
+        )
+        num_rays = clean.ray_sensor.num_rays
+        obs_clean = NavigationEnv(clean, rng=0).reset(seed=0)
+        obs_degraded = NavigationEnv(degraded, rng=0).reset(seed=0)
+        assert np.allclose(obs_degraded[:num_rays], 1.0)
+        assert not np.allclose(obs_clean[:num_rays], 1.0)
+
+    def test_randomized_world_spec_resets_replay_identically(self):
+        config = NavigationConfig(
+            world_spec=WorldSpec("rooms", seed=0), randomize_obstacles_on_reset=True
+        )
+        a, b = NavigationEnv(config, rng=0), NavigationEnv(config, rng=0)
+        specs = []
+        for index in range(3):
+            a.reset(seed=10 + index), b.reset(seed=10 + index)
+            assert a.world_spec == b.world_spec
+            assert np.array_equal(a.obstacle_field.centers, b.obstacle_field.centers)
+            specs.append(a.world_spec)
+        assert len({spec.seed for spec in specs}) == 3  # fresh world per reset
+
+
+class TestMetricsAndRender:
+    def test_metrics_shape(self):
+        metrics = world_metrics(generate_world(WorldSpec("corridor", seed=0)))
+        assert metrics.path_stretch >= 1.0
+        assert 0.0 < metrics.occupancy_fraction < 1.0
+        assert np.isfinite(metrics.grid_path_m)
+
+    def test_harder_preset_is_harder(self):
+        easy = world_metrics(generate_world(WorldSpec("uniform", {"density": "sparse"}, seed=0)))
+        hard = world_metrics(generate_world(WorldSpec("uniform", {"density": "dense"}, seed=0)))
+        assert hard.occupancy_fraction > easy.occupancy_fraction
+
+    def test_ascii_render_marks_endpoints(self):
+        world = generate_world(WorldSpec("urban", seed=0))
+        art = render_world(world, cols=48)
+        assert "S" in art and "G" in art and "#" in art
+        assert len(art.splitlines()) >= 4
+
+    def test_ascii_map_plain_field(self):
+        field = ObstacleField((10.0, 10.0), np.array([[5.0, 5.0]]), np.array([2.0]))
+        art = ascii_map(field, cols=20)
+        assert "#" in art and "." in art
+
+
+class TestGeneralizedScenario:
+    def scenario(self) -> GeneralizedScenario:
+        return GeneralizedScenario(
+            world=WorldSpec("corridor", {"gap_m": 1.6}, seed=5),
+            platform=CRAZYFLIE,
+            policy_name="C3F2",
+            compute_power_multiplier=1.0,
+            ber_percent=0.1,
+        )
+
+    def test_job_round_trip(self):
+        scenario = self.scenario()
+        result = run_job(scenario.job_spec())
+        assert result["scenario"] == scenario.name
+        assert result["family"] == "corridor"
+        assert 0.0 <= result["berry_success_pct"] <= 100.0
+        assert result["berry_success_pct"] >= result["classical_success_pct"]
+        assert result["path_stretch"] >= 1.0
+
+    def test_environment_factory(self):
+        env = self.scenario().environment(rng=0)
+        observation = env.reset(seed=0)
+        assert observation.shape == env.observation_space.shape
+
+    def test_job_results_are_reproducible(self):
+        spec = self.scenario().job_spec()
+        assert run_job(spec) == run_job(spec)
+
+
+class TestGeneralizationSweep:
+    def test_sweep_size_and_registration(self):
+        entry = get_registered_sweep("generalization")
+        sweep = entry.spec()
+        assert len(sweep) >= 1000
+        families = {job.params["world"]["family"] for job in sweep.jobs}
+        assert set(REQUIRED_FAMILIES) <= families
+
+    def test_preset_families_cover_required(self):
+        assert set(REQUIRED_FAMILIES) <= {family for family, _ in FAMILY_PRESETS}
+
+    def test_sharded_cached_resumable_slice(self, tmp_path):
+        sweep = generalization_sweep_spec(presets=FAMILY_PRESETS[:2], seeds=(0,))
+        runner = SweepRunner(
+            cache=ResultCache(root=tmp_path / "cache"), journal_dir=tmp_path / "journals"
+        )
+        first = runner.run(sweep, shard=(0, 12))
+        assert first.executed == len(sweep) // 12
+        # Same shard again: everything resumes from the journal.
+        second = runner.run(sweep, shard=(0, 12))
+        assert second.executed == 0
+        assert second.resumed == first.executed
+
+    def test_assemble_aggregates_by_family_and_ber(self):
+        sweep = generalization_sweep_spec(presets=(("uniform", {"density": "sparse"}),), seeds=(0,))
+        results = [run_job(job) for job in sweep.jobs]
+        table = assemble_generalization(sweep, results)
+        assert table.rows
+        assert {row["family"] for row in table.rows} == {"uniform"}
+        by_ber = {row["ber_percent"]: row for row in table.rows}
+        assert by_ber[1.0]["berry_drop_vs_p0_pct"] >= by_ber[0.01]["berry_drop_vs_p0_pct"]
