@@ -84,3 +84,68 @@ def test_bench_ray_sense_batched(benchmark, field):
 def test_bench_generate_world(benchmark, family):
     world = benchmark(generate_world, WorldSpec(family, seed=0))
     assert world.field.num_obstacles > 0
+
+
+# ---------------------------------------------------------------------- timed segments
+# The ROADMAP flagged ``segment_collides_timed`` as the next hot path: the
+# old implementation froze the whole field once per motion sample (a python
+# loop rebuilding an (N_static + N_movers) snapshot 8 times per step), which
+# scales badly when mover counts grow 10x.  The vectorized broadcast keeps
+# one static-mask query plus one movers x samples distance matrix.
+
+NUM_MOVERS_10X = 40  # ~10x the dynamic family's default mover count
+
+
+@pytest.fixture(scope="module")
+def dynamic_field_10x():
+    from repro.worlds.dynamic import DynamicObstacleField, MovingObstacle
+
+    rng = np.random.default_rng(0)
+    movers = tuple(
+        MovingObstacle(
+            waypoints=rng.uniform(1.0, 19.0, size=(3, 2)),
+            radius=0.4,
+            speed_m_s=float(rng.uniform(0.5, 1.5)),
+            phase_m=float(rng.uniform(0.0, 8.0)),
+        )
+        for _ in range(NUM_MOVERS_10X)
+    )
+    field = DynamicObstacleField(
+        world_size=(20.0, 20.0),
+        centers=rng.uniform(1.0, 19.0, size=(12, 2)),
+        radii=rng.uniform(0.3, 0.8, size=12),
+        movers=movers,
+    )
+    starts = rng.uniform(0.5, 19.5, size=(64, 2))
+    ends = starts + rng.uniform(-1.2, 1.2, size=(64, 2))
+    t0s = rng.uniform(0.0, 30.0, size=64)
+    return field, starts, ends, t0s
+
+
+def _snapshot_loop_timed(field, starts, ends, t0s, radius=0.25, samples=8):
+    """The pre-vectorization reference: freeze a snapshot per motion sample."""
+    out = np.zeros(len(starts), dtype=bool)
+    fractions = np.linspace(0.0, 1.0, samples)
+    for index, (start, end, t0) in enumerate(zip(starts, ends, t0s)):
+        for fraction in fractions:
+            snapshot = field.at_time(float(t0) + float(fraction) * 0.5)
+            if snapshot.collides(start + fraction * (end - start), radius):
+                out[index] = True
+                break
+    return out
+
+
+@pytest.mark.benchmark(group="timed-segments-40movers")
+def test_bench_timed_segments_snapshot_loop(benchmark, dynamic_field_10x):
+    field, starts, ends, t0s = dynamic_field_10x
+    result = benchmark(_snapshot_loop_timed, field, starts, ends, t0s)
+    assert result.shape == (64,)
+
+
+@pytest.mark.benchmark(group="timed-segments-40movers")
+def test_bench_timed_segments_broadcast(benchmark, dynamic_field_10x):
+    field, starts, ends, t0s = dynamic_field_10x
+    result = benchmark(
+        field.segments_collide_timed, starts, ends, t0s, t0s + 0.5, 0.25
+    )
+    assert np.array_equal(result, _snapshot_loop_timed(field, starts, ends, t0s))

@@ -17,7 +17,19 @@ from repro.envs.spaces import Box, Discrete
 from repro.envs.obstacles import ObstacleField, ObstacleDensity, generate_obstacles
 from repro.envs.sensors import RaySensor, OccupancyImager
 from repro.envs.navigation import NavigationConfig, NavigationEnv, StepResult
-from repro.envs.vector import EpisodeResult, run_episode, run_episodes
+from repro.envs.vector import (
+    BatchPolicy,
+    EpisodeResult,
+    PolicyFn,
+    as_batch_policy,
+    run_episode,
+    run_episodes,
+)
+from repro.envs.batch import (
+    BatchedNavigationEnv,
+    BatchStepResult,
+    run_batched_episodes,
+)
 
 __all__ = [
     "Box",
@@ -30,7 +42,13 @@ __all__ = [
     "NavigationConfig",
     "NavigationEnv",
     "StepResult",
+    "BatchPolicy",
+    "PolicyFn",
+    "as_batch_policy",
     "EpisodeResult",
     "run_episode",
     "run_episodes",
+    "BatchedNavigationEnv",
+    "BatchStepResult",
+    "run_batched_episodes",
 ]

@@ -1,0 +1,542 @@
+"""Lockstep batched navigation: B independent episodes as stacked arrays.
+
+:class:`BatchedNavigationEnv` is the batched core of the episode-execution
+stack.  It holds B independent episode states (positions, headings, clocks,
+path integrals, done flags) as stacked arrays and advances every running lane
+in one :meth:`step` call: action decoding is a table lookup over the action
+vector, the kinematics update is elementwise array math, motion segments of
+all lanes sharing a field are collision-checked through one
+:meth:`~repro.envs.obstacles.ObstacleField.segments_collide` /
+:meth:`~repro.worlds.dynamic.DynamicObstacleField.segments_collide_timed`
+query, and observation construction goes through the batched
+:meth:`~repro.envs.sensors.RaySensor.sense_many` /
+:meth:`~repro.envs.sensors.OccupancyImager.render_many` front-ends — one
+array op per step instead of B.
+
+**Determinism contract.**  Each lane owns its own RNG stream, field and world
+geometry, reset from a per-episode seed exactly the way
+:meth:`~repro.envs.navigation.NavigationEnv.reset` is; every arithmetic
+operation in the step is elementwise-identical to the serial environment's
+(shared helpers: :func:`~repro.envs.navigation.compile_world`,
+:func:`~repro.envs.navigation.sample_start_position`,
+:func:`~repro.envs.obstacles.planar_distances`).  Greedy rollouts under
+per-episode reset seeds therefore reproduce the serial
+:func:`~repro.envs.vector.run_episode` results *bitwise*, for any batch
+size — which is what makes the batched core a refactor of the rollout stack
+rather than a second, subtly different simulator.
+
+Only lanes whose ``done`` flag is clear are advanced (the *done-mask*);
+finished lanes keep their terminal statistics until :meth:`reset_lanes`
+reseeds them, which is how :func:`run_batched_episodes` streams an arbitrary
+number of episodes through a fixed number of lanes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EnvironmentError_
+from repro.envs.navigation import NavigationConfig, NavigationEnv, compile_world
+from repro.envs.obstacles import ObstacleField, planar_distances
+from repro.envs.vector import EpisodeResult, as_batch_policy
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
+
+#: Default lane count for auto-batched rollouts (see ``run_episodes``).
+DEFAULT_BATCH_SIZE = 64
+
+
+@dataclass
+class BatchStepResult:
+    """Outcome of one lockstep step, as full ``(B, ...)`` arrays.
+
+    Rows of lanes that were not stepped (already done, or never reset) hold
+    zeros for the per-step quantities (observations, rewards, flags) and the
+    lane's current values for the state snapshots (``steps``,
+    ``path_lengths_m``); ``stepped`` marks the lanes this call actually
+    advanced — only their rows are meaningful.
+    """
+
+    observations: np.ndarray        #: (B, *obs_shape); zero rows for unstepped lanes
+    rewards: np.ndarray             #: (B,) per-step rewards
+    terminated: np.ndarray          #: (B,) bool, goal or collision this step
+    truncated: np.ndarray           #: (B,) bool, timeout this step
+    success: np.ndarray             #: (B,) bool, goal reached this step
+    collision: np.ndarray           #: (B,) bool, collided this step
+    steps: np.ndarray               #: (B,) episode step counters
+    path_lengths_m: np.ndarray      #: (B,) flown path integrals
+    distances_to_goal_m: np.ndarray  #: (B,) distance to goal after the step
+    stepped: np.ndarray             #: (B,) bool, lanes advanced by this call
+
+    @property
+    def done(self) -> np.ndarray:
+        return self.terminated | self.truncated
+
+
+class BatchedNavigationEnv:
+    """B lockstep :class:`~repro.envs.navigation.NavigationEnv` lanes.
+
+    The constructor mirrors ``NavigationEnv(config, rng)`` exactly (including
+    the initial world draw from the construction RNG stream); alternatively
+    :meth:`from_env` wraps an existing serial environment, sharing its
+    already-generated field so batched rollouts replay the very same world.
+    """
+
+    def __init__(
+        self,
+        config: NavigationConfig = NavigationConfig(),
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        rng: SeedLike = 0,
+        template: Optional[NavigationEnv] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        if template is None:
+            template = NavigationEnv(config, rng=rng)
+        self.config = template.config
+        self.batch_size = int(batch_size)
+        self.action_space = template.action_space
+        self.observation_space = template.observation_space
+        config = self.config
+
+        self._heading_options = np.linspace(
+            -config.max_heading_change_rad,
+            config.max_heading_change_rad,
+            config.num_heading_actions,
+        )
+        self._speed_options = np.linspace(0.2, 1.0, config.num_speed_actions)
+        if config.num_speed_actions == 1:
+            self._speed_options = np.array([1.0])
+        if config.perturbations:
+            from repro.worlds.perturbations import SensorDegradation, WindGust
+
+            self._wind_layers = tuple(
+                p for p in config.perturbations if isinstance(p, WindGust)
+            )
+            self._sensor_layers = tuple(
+                p for p in config.perturbations if isinstance(p, SensorDegradation)
+            )
+        else:
+            self._wind_layers = ()
+            self._sensor_layers = ()
+
+        B = self.batch_size
+        # Per-lane world state, seeded from the template's current world.
+        self._fields: List[ObstacleField] = [template.obstacle_field] * B
+        self._world_specs = [template.world_spec] * B
+        self._world_sizes: List[Tuple[float, float]] = [template.world_size] * B
+        self._starts = np.tile(np.asarray(template._start, dtype=np.float64), (B, 1))
+        self._goals = np.tile(np.asarray(template._goal, dtype=np.float64), (B, 1))
+        self._scales = np.full(
+            B, float(np.linalg.norm(np.asarray(template.world_size))), dtype=np.float64
+        )
+        self._rngs: List[np.random.Generator] = spawn_generators(template._rng, B)
+        # Per-lane episode state (lanes start finished; reset_lanes activates them).
+        self._positions = self._starts.copy()
+        self._headings = np.zeros(B, dtype=np.float64)
+        self._steps = np.zeros(B, dtype=np.int64)
+        self._times = np.zeros(B, dtype=np.float64)
+        self._path_lengths = np.zeros(B, dtype=np.float64)
+        self._done = np.ones(B, dtype=bool)
+
+    @classmethod
+    def from_env(cls, env: NavigationEnv, batch_size: int = DEFAULT_BATCH_SIZE) -> "BatchedNavigationEnv":
+        """Batch B lanes over an existing serial environment's current world."""
+        return cls(env.config, batch_size=batch_size, template=env)
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def done(self) -> np.ndarray:
+        """Copy of the per-lane done mask."""
+        return self._done.copy()
+
+    @property
+    def path_lengths_m(self) -> np.ndarray:
+        return self._path_lengths.copy()
+
+    @property
+    def episode_steps(self) -> np.ndarray:
+        return self._steps.copy()
+
+    def __repr__(self) -> str:
+        active = int(np.count_nonzero(~self._done))
+        return (
+            f"BatchedNavigationEnv(batch_size={self.batch_size}, active={active}, "
+            f"actions={self.action_space.n})"
+        )
+
+    # ------------------------------------------------------------------ reset
+    def reset_lanes(
+        self,
+        lanes: Sequence[int],
+        seeds: Optional[Sequence[Optional[int]]] = None,
+    ) -> np.ndarray:
+        """Start a fresh episode on each of ``lanes``; returns their observations.
+
+        Lane ``i`` reset with seed ``s`` replays exactly what
+        ``NavigationEnv.reset(seed=s)`` would do on a serial environment
+        sharing this batch's construction world: reseed the lane RNG,
+        regenerate the lane's world when the config randomizes on reset,
+        sample the start position, face the goal.
+        """
+        lanes = [int(lane) for lane in lanes]
+        if seeds is None:
+            seeds = [None] * len(lanes)
+        if len(seeds) != len(lanes):
+            raise ConfigurationError(
+                f"got {len(seeds)} seeds for {len(lanes)} lanes"
+            )
+        config = self.config
+        for lane, seed in zip(lanes, seeds):
+            if not 0 <= lane < self.batch_size:
+                raise ConfigurationError(
+                    f"lane {lane} outside batch of {self.batch_size}"
+                )
+            if seed is not None:
+                self._rngs[lane] = as_generator(int(seed))
+            rng = self._rngs[lane]
+            if config.randomize_obstacles_on_reset:
+                if config.world_spec is not None:
+                    self._world_specs[lane] = config.world_spec.with_seed(
+                        int(rng.integers(0, 2**31 - 1))
+                    )
+                field, start, goal, world_size = compile_world(
+                    config,
+                    self._world_specs[lane],
+                    self._world_sizes[lane],
+                    self._starts[lane],
+                    self._goals[lane],
+                    rng,
+                )
+                self._fields[lane] = field
+                self._starts[lane] = start
+                self._goals[lane] = goal
+                self._world_sizes[lane] = world_size
+                self._scales[lane] = float(np.linalg.norm(np.asarray(world_size)))
+        lane_array = np.asarray(lanes, dtype=np.int64)
+        self._steps[lane_array] = 0
+        self._times[lane_array] = 0.0
+        self._positions[lane_array] = self._sample_start_positions(lane_array)
+        goal_vectors = self._goals[lane_array] - self._positions[lane_array]
+        self._headings[lane_array] = np.arctan2(goal_vectors[:, 1], goal_vectors[:, 0])
+        self._path_lengths[lane_array] = 0.0
+        self._done[lane_array] = False
+        return self._observe_lanes(lane_array)
+
+    def _sample_start_positions(self, lanes: np.ndarray) -> np.ndarray:
+        """Start positions for ``lanes``: fixed starts plus optional noise.
+
+        Replays :func:`~repro.envs.navigation.sample_start_position` for every
+        lane — same per-lane draws from the same per-lane streams, same
+        rejection rule — but evaluates each round's candidate collision checks
+        as one batched query per shared field.
+        """
+        noise = self.config.start_position_noise_m
+        positions = self._starts[lanes].copy()
+        if noise <= 0.0:
+            return positions
+        snapshot_groups = [
+            (
+                field.at_time(0.0) if getattr(field, "num_movers", 0) > 0 else field,
+                rows,
+            )
+            for field, rows in self._group_by_field(lanes)
+        ]
+        radius = self.config.vehicle_radius_m
+        pending = np.arange(lanes.size)
+        for _ in range(32):
+            if pending.size == 0:
+                break
+            candidates = np.empty((pending.size, 2), dtype=np.float64)
+            for offset, row in enumerate(pending):
+                lane = int(lanes[row])
+                candidates[offset] = self._starts[lane] + self._rngs[lane].uniform(
+                    -noise, noise, size=2
+                )
+            collided = np.zeros(pending.size, dtype=bool)
+            for snapshot, rows in snapshot_groups:
+                in_round = np.isin(pending, rows)
+                if in_round.any():
+                    collided[in_round] = snapshot.collides_many(
+                        candidates[in_round], radius
+                    )
+            placed = ~collided
+            positions[pending[placed]] = candidates[placed]
+            pending = pending[collided]
+        # Lanes that exhausted every attempt keep the fixed start (already
+        # initialised above), matching the serial fallback.
+        return positions
+
+    # ------------------------------------------------------------------ step
+    def step(self, actions: np.ndarray) -> BatchStepResult:
+        """Advance every running lane by one lockstep action.
+
+        ``actions`` is a length-B integer vector; entries of finished lanes
+        are ignored (the done-mask).  Raises when every lane is finished —
+        reset lanes first.
+        """
+        actions = np.asarray(actions)
+        if actions.shape != (self.batch_size,):
+            raise EnvironmentError_(
+                f"actions must have shape ({self.batch_size},), got {actions.shape}"
+            )
+        active = ~self._done
+        if not active.any():
+            raise EnvironmentError_(
+                "step() called with every lane finished; call reset_lanes() first"
+            )
+        lanes = np.nonzero(active)[0]
+        config = self.config
+        acts = actions[lanes].astype(np.int64)
+        if np.any((acts < 0) | (acts >= self.action_space.n)):
+            bad = acts[(acts < 0) | (acts >= self.action_space.n)][0]
+            raise EnvironmentError_(
+                f"invalid action {int(bad)!r} for a {self.action_space.n}-action space"
+            )
+        heading_index, speed_index = np.divmod(acts, config.num_speed_actions)
+        heading_changes = self._heading_options[heading_index]
+        speed_fractions = self._speed_options[speed_index]
+
+        self._steps[lanes] += 1
+        positions = self._positions[lanes]
+        goals = self._goals[lanes]
+        previous_distances = planar_distances(goals - positions)
+        headings = self._wrap_angles(self._headings[lanes] + heading_changes)
+        self._headings[lanes] = headings
+        displacements = speed_fractions * config.max_speed_m_s * config.step_duration_s
+        new_positions = positions + displacements[:, None] * np.stack(
+            [np.cos(headings), np.sin(headings)], axis=1
+        )
+        if self._wind_layers:
+            for row, lane in enumerate(lanes):
+                shifted = new_positions[row]
+                for wind in self._wind_layers:
+                    shifted = shifted + wind.displacement(
+                        self._rngs[lane], config.step_duration_s
+                    )
+                new_positions[row] = shifted
+            displacements = planar_distances(new_positions - positions)
+
+        start_times = self._times[lanes]
+        end_times = start_times + config.step_duration_s
+        collided = np.zeros(lanes.size, dtype=bool)
+        for field, rows in self._group_by_field(lanes):
+            if getattr(field, "num_movers", 0) > 0:
+                collided[rows] = field.segments_collide_timed(
+                    positions[rows],
+                    new_positions[rows],
+                    start_times[rows],
+                    end_times[rows],
+                    config.vehicle_radius_m,
+                )
+            else:
+                collided[rows] = field.segments_collide(
+                    positions[rows], new_positions[rows], config.vehicle_radius_m
+                )
+        self._times[lanes] = end_times
+
+        moved = ~collided
+        self._path_lengths[lanes] += np.where(moved, displacements, 0.0)
+        updated_positions = np.where(moved[:, None], new_positions, positions)
+        self._positions[lanes] = updated_positions
+        new_distances = planar_distances(goals - updated_positions)
+        success = moved & (new_distances <= config.goal_radius_m)
+        progress_rewards = config.step_penalty + config.progress_scale * (
+            previous_distances - new_distances
+        )
+        rewards = np.where(
+            collided,
+            config.step_penalty + config.collision_penalty,
+            np.where(success, progress_rewards + config.goal_reward, progress_rewards),
+        )
+        terminated = collided | success
+        truncated = ~terminated & (self._steps[lanes] >= config.max_steps)
+        self._done[lanes] = terminated | truncated
+
+        observations = np.zeros((self.batch_size,) + self.observation_space.shape)
+        observations[lanes] = self._observe_lanes(lanes)
+        return BatchStepResult(
+            observations=observations,
+            rewards=self._scatter(lanes, rewards),
+            terminated=self._scatter(lanes, terminated),
+            truncated=self._scatter(lanes, truncated),
+            success=self._scatter(lanes, success),
+            collision=self._scatter(lanes, collided),
+            steps=self._steps.copy(),
+            path_lengths_m=self._path_lengths.copy(),
+            distances_to_goal_m=self._scatter(lanes, new_distances),
+            stepped=active.copy(),
+        )
+
+    def _scatter(self, lanes: np.ndarray, values: np.ndarray) -> np.ndarray:
+        out = np.zeros(self.batch_size, dtype=values.dtype)
+        out[lanes] = values
+        return out
+
+    # ------------------------------------------------------------------ observations
+    def _lane_field_now(self, lane: int) -> ObstacleField:
+        """The lane's field frozen at the lane's current episode time."""
+        field = self._fields[lane]
+        if getattr(field, "num_movers", 0) > 0:
+            return field.at_time(float(self._times[lane]))
+        return field
+
+    def _group_by_field(self, lanes: np.ndarray):
+        """Yield ``(field, row_offsets)`` grouping ``lanes`` by field object."""
+        groups: Dict[int, List[int]] = {}
+        order: Dict[int, ObstacleField] = {}
+        for row, lane in enumerate(lanes):
+            field = self._fields[lane]
+            groups.setdefault(id(field), []).append(row)
+            order[id(field)] = field
+        for key, rows in groups.items():
+            yield order[key], np.asarray(rows, dtype=np.int64)
+
+    def _observe_lanes(self, lanes: np.ndarray) -> np.ndarray:
+        """Observations for ``lanes``, one batched sensor query per field.
+
+        Lanes over the same static field share a single batched ray/occupancy
+        query (the common case: every lane of a fixed-world evaluation).
+        Dynamic worlds additionally split by episode time, because each lane
+        sees the movers at its own clock.
+        """
+        observations = np.empty(
+            (lanes.size,) + self.observation_space.shape, dtype=np.float64
+        )
+        groups: Dict[Tuple[int, Optional[float]], List[int]] = {}
+        for row, lane in enumerate(lanes):
+            field = self._fields[lane]
+            dynamic = getattr(field, "num_movers", 0) > 0
+            key = (id(field), float(self._times[lane]) if dynamic else None)
+            groups.setdefault(key, []).append(row)
+        for (field_id, time_key), rows in groups.items():
+            row_array = np.asarray(rows, dtype=np.int64)
+            group_lanes = lanes[row_array]
+            field = self._fields[int(group_lanes[0])]
+            snapshot = field.at_time(time_key) if time_key is not None else field
+            observations[row_array] = self._observe_group(snapshot, group_lanes)
+        return observations
+
+    def _observe_group(self, snapshot: ObstacleField, lanes: np.ndarray) -> np.ndarray:
+        config = self.config
+        positions = self._positions[lanes]
+        headings = self._headings[lanes]
+        goals = self._goals[lanes]
+        if config.observation == "image":
+            return config.imager.render_many(snapshot, positions, headings, goals)
+        rays = config.ray_sensor.sense_many(snapshot, positions, headings)
+        if self._sensor_layers:
+            for row, lane in enumerate(lanes):
+                degraded = rays[row]
+                for degradation in self._sensor_layers:
+                    degraded = degradation.apply(degraded, self._rngs[lane])
+                rays[row] = degraded
+        goal_vectors = goals - positions
+        goal_distances = planar_distances(goal_vectors)
+        goal_bearings = np.arctan2(goal_vectors[:, 1], goal_vectors[:, 0]) - headings
+        features = np.stack(
+            [
+                np.minimum(1.0, goal_distances / self._scales[lanes]),
+                np.sin(goal_bearings),
+                np.cos(goal_bearings),
+                headings / math.pi,
+            ],
+            axis=1,
+        )
+        return np.concatenate([rays, features], axis=1)
+
+    @staticmethod
+    def _wrap_angles(angles: np.ndarray) -> np.ndarray:
+        return (angles + math.pi) % (2.0 * math.pi) - math.pi
+
+
+def run_batched_episodes(
+    env: BatchedNavigationEnv,
+    policy,
+    num_episodes: int,
+    epsilon: float = 0.0,
+    rng: SeedLike = 0,
+    reset_seed: Optional[int] = None,
+) -> List[EpisodeResult]:
+    """Stream ``num_episodes`` episodes through the batch's lanes in lockstep.
+
+    Episode ``i`` resets its lane with ``reset_seed + i`` (or, when
+    ``reset_seed`` is ``None``, with a seed drawn from episode ``i``'s own
+    stream spawned off ``rng``), and a lane that finishes is immediately
+    refilled with the next pending episode, so every policy forward stays a
+    full-width batch until the tail.  Results come back in episode order.
+
+    Greedy (``epsilon == 0``) runs with an explicit ``reset_seed`` reproduce
+    the serial :func:`~repro.envs.vector.run_episode` loop bitwise.  With
+    exploration, every episode draws from its *own* spawned RNG stream —
+    unlike the serial loop's single shared stream — which is what makes the
+    results independent of the batch size.
+    """
+    if num_episodes < 0:
+        raise ConfigurationError(f"num_episodes must be non-negative, got {num_episodes}")
+    if num_episodes == 0:
+        return []
+    batch_policy = as_batch_policy(policy)
+    B = env.batch_size
+    episode_rngs = (
+        spawn_generators(rng, num_episodes)
+        if (epsilon > 0.0 or reset_seed is None)
+        else None
+    )
+
+    def seed_for(episode: int) -> int:
+        if reset_seed is not None:
+            return int(reset_seed) + episode
+        return int(episode_rngs[episode].integers(0, 2**31 - 1))
+
+    results: List[Optional[EpisodeResult]] = [None] * num_episodes
+    lane_episode = np.full(B, -1, dtype=np.int64)
+    reward_totals = np.zeros(B, dtype=np.float64)
+    observations = np.zeros((B,) + env.observation_space.shape)
+
+    fill = list(range(min(B, num_episodes)))
+    observations[fill] = env.reset_lanes(fill, [seed_for(e) for e in fill])
+    lane_episode[fill] = fill
+    next_episode = len(fill)
+
+    while True:
+        active = np.nonzero(lane_episode >= 0)[0]
+        if active.size == 0:
+            break
+        actions = np.zeros(B, dtype=np.int64)
+        chosen = np.asarray(batch_policy(observations[active]), dtype=np.int64).reshape(-1)
+        if chosen.shape != (active.size,):
+            raise ConfigurationError(
+                f"batch policy returned {chosen.shape} actions for {active.size} observations"
+            )
+        actions[active] = chosen
+        if epsilon > 0.0:
+            for lane in active:
+                generator = episode_rngs[lane_episode[lane]]
+                if generator.random() < epsilon:
+                    actions[lane] = env.action_space.sample(generator)
+        result = env.step(actions)
+        reward_totals[active] += result.rewards[active]
+        observations[active] = result.observations[active]
+        finished = active[result.done[active]]
+        for lane in finished:
+            episode = int(lane_episode[lane])
+            results[episode] = EpisodeResult(
+                success=bool(result.success[lane]),
+                collision=bool(result.collision[lane]),
+                steps=int(result.steps[lane]),
+                path_length_m=float(result.path_lengths_m[lane]),
+                total_reward=float(reward_totals[lane]),
+            )
+            if next_episode < num_episodes:
+                refill = next_episode
+                next_episode += 1
+                observations[lane] = env.reset_lanes([int(lane)], [seed_for(refill)])[0]
+                lane_episode[lane] = refill
+                reward_totals[lane] = 0.0
+            else:
+                lane_episode[lane] = -1
+    return results  # type: ignore[return-value]

@@ -21,7 +21,12 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, EnvironmentError_
-from repro.envs.obstacles import ObstacleDensity, ObstacleField, generate_obstacles
+from repro.envs.obstacles import (
+    ObstacleDensity,
+    ObstacleField,
+    generate_obstacles,
+    planar_distances,
+)
 from repro.envs.sensors import OccupancyImager, RaySensor
 from repro.envs.spaces import Box, Discrete
 from repro.utils.rng import SeedLike, as_generator
@@ -109,6 +114,63 @@ class StepResult:
     info: Dict[str, float]
 
 
+def compile_world(
+    config: NavigationConfig,
+    world_spec: Optional["WorldSpec"],
+    world_size: Tuple[float, float],
+    start: np.ndarray,
+    goal: np.ndarray,
+    rng: np.random.Generator,
+) -> Tuple[ObstacleField, np.ndarray, np.ndarray, Tuple[float, float]]:
+    """Build the active world for one episode lane.
+
+    Returns ``(field, start, goal, world_size)``.  When ``world_spec`` is set
+    the generated world's geometry wins; otherwise a uniform-density field is
+    drawn.  The obstacle seed is taken from the caller's RNG *stream* (rather
+    than handing the generator the stream itself) so the sequence of worlds is
+    a pure function of the reset seed, independent of how much randomness
+    field generation happens to consume.  Shared by :class:`NavigationEnv`
+    and the lockstep :class:`~repro.envs.batch.BatchedNavigationEnv` so both
+    replay identical world sequences from identical seeds.
+    """
+    if world_spec is not None:
+        from repro.worlds.registry import generate_world
+
+        world = generate_world(world_spec)
+        return world.field, world.start.copy(), world.goal.copy(), world.world_size
+    obstacle_seed = int(rng.integers(0, 2**31 - 1))
+    field = generate_obstacles(
+        world_size,
+        config.density,
+        start,
+        goal,
+        rng=obstacle_seed,
+        vehicle_radius=config.vehicle_radius_m,
+    )
+    return field, start, goal, world_size
+
+
+def sample_start_position(
+    snapshot: ObstacleField,
+    start: np.ndarray,
+    noise_m: float,
+    vehicle_radius: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One episode's start position: the fixed start plus optional uniform noise.
+
+    Shared by the serial and batched environments so their per-lane RNG
+    consumption (and therefore every downstream draw) stays identical.
+    """
+    if noise_m <= 0.0:
+        return start.copy()
+    for _ in range(32):
+        candidate = start + rng.uniform(-noise_m, noise_m, size=2)
+        if not snapshot.collides(candidate, vehicle_radius):
+            return candidate
+    return start.copy()
+
+
 class NavigationEnv:
     """Deterministic 2-D navigation environment with a Gym-like API."""
 
@@ -155,27 +217,15 @@ class NavigationEnv:
 
     # ------------------------------------------------------------------ setup helpers
     def _generate_field(self) -> ObstacleField:
-        if self._world_spec is not None:
-            from repro.worlds.registry import generate_world
-
-            world = generate_world(self._world_spec)
-            self._start = world.start.copy()
-            self._goal = world.goal.copy()
-            self._world_size = world.world_size
-            return world.field
-        # The obstacle seed is drawn from the env's RNG *stream* (rather than
-        # handing the generator the stream itself) so the sequence of worlds
-        # is a pure function of the reset seed, independent of how much
-        # randomness field generation happens to consume.
-        obstacle_seed = int(self._rng.integers(0, 2**31 - 1))
-        return generate_obstacles(
+        field, self._start, self._goal, self._world_size = compile_world(
+            self.config,
+            self._world_spec,
             self._world_size,
-            self.config.density,
             self._start,
             self._goal,
-            rng=obstacle_seed,
-            vehicle_radius=self.config.vehicle_radius_m,
+            self._rng,
         )
+        return field
 
     @property
     def _field_is_dynamic(self) -> bool:
@@ -228,7 +278,7 @@ class NavigationEnv:
 
     @property
     def straight_line_distance_m(self) -> float:
-        return float(np.linalg.norm(self._goal - self._start))
+        return float(planar_distances(self._goal - self._start))
 
     # ------------------------------------------------------------------ action decoding
     def decode_action(self, action: int) -> Tuple[float, float]:
@@ -263,15 +313,13 @@ class NavigationEnv:
 
     def _sample_start(self) -> np.ndarray:
         """The episode's start position (fixed start plus optional uniform noise)."""
-        noise = self.config.start_position_noise_m
-        if noise <= 0.0:
-            return self._start.copy()
-        snapshot = self._field_now()
-        for _ in range(32):
-            candidate = self._start + self._rng.uniform(-noise, noise, size=2)
-            if not snapshot.collides(candidate, self.config.vehicle_radius_m):
-                return candidate
-        return self._start.copy()
+        return sample_start_position(
+            self._field_now(),
+            self._start,
+            self.config.start_position_noise_m,
+            self.config.vehicle_radius_m,
+            self._rng,
+        )
 
     def step(self, action: int) -> StepResult:
         """Apply one discrete action and advance the episode."""
@@ -279,7 +327,7 @@ class NavigationEnv:
             raise EnvironmentError_("step() called on a finished episode; call reset() first")
         heading_change, speed_fraction = self.decode_action(action)
         self._steps += 1
-        previous_distance = float(np.linalg.norm(self._goal - self._position))
+        previous_distance = float(planar_distances(self._goal - self._position))
         self._heading = self._wrap_angle(self._heading + heading_change)
         displacement = speed_fraction * self.config.max_speed_m_s * self.config.step_duration_s
         new_position = self._position + displacement * np.array(
@@ -290,7 +338,7 @@ class NavigationEnv:
                 new_position = new_position + wind.displacement(
                     self._rng, self.config.step_duration_s
                 )
-            displacement = float(np.linalg.norm(new_position - self._position))
+            displacement = float(planar_distances(new_position - self._position))
 
         step_end_time = self._time_s + self.config.step_duration_s
         if self._field_is_dynamic:
@@ -315,7 +363,7 @@ class NavigationEnv:
         else:
             self._path_length += displacement
             self._position = new_position
-            new_distance = float(np.linalg.norm(self._goal - self._position))
+            new_distance = float(planar_distances(self._goal - self._position))
             reward += self.config.progress_scale * (previous_distance - new_distance)
             if new_distance <= self.config.goal_radius_m:
                 reward += self.config.goal_reward
@@ -328,7 +376,7 @@ class NavigationEnv:
             "collision": float(collided),
             "steps": float(self._steps),
             "path_length_m": self._path_length,
-            "distance_to_goal_m": float(np.linalg.norm(self._goal - self._position)),
+            "distance_to_goal_m": float(planar_distances(self._goal - self._position)),
         }
         return StepResult(self._observe(), float(reward), terminated, truncated, info)
 
@@ -341,7 +389,7 @@ class NavigationEnv:
         for degradation in self._sensor_layers:
             rays = degradation.apply(rays, self._rng)
         goal_vector = self._goal - self._position
-        goal_distance = float(np.linalg.norm(goal_vector))
+        goal_distance = float(planar_distances(goal_vector))
         goal_bearing = float(np.arctan2(goal_vector[1], goal_vector[0]) - self._heading)
         scale = float(np.linalg.norm(np.asarray(self._world_size)))
         features = np.array(

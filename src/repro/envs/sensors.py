@@ -18,7 +18,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.envs.obstacles import ObstacleField
+from repro.envs.obstacles import ObstacleField, planar_distances
 
 
 @dataclass(frozen=True)
@@ -55,6 +55,20 @@ class RaySensor:
         distances = field.ray_distances(
             position, heading + self.ray_angles, self.max_range_m, self.step_m
         )
+        return distances / self.max_range_m
+
+    def sense_many(
+        self, field: ObstacleField, positions: np.ndarray, headings: np.ndarray
+    ) -> np.ndarray:
+        """Depth readings for many vehicles in one query.
+
+        ``positions`` is ``(N, 2)`` and ``headings`` ``(N,)``; row ``i`` of
+        the ``(N, num_rays)`` result is bit-identical to
+        ``sense(field, positions[i], headings[i])``.
+        """
+        headings = np.asarray(headings, dtype=np.float64).reshape(-1)
+        angles = headings[:, None] + self.ray_angles[None, :]
+        distances = field.ray_distances_many(positions, angles, self.max_range_m, self.step_m)
         return distances / self.max_range_m
 
 
@@ -101,8 +115,54 @@ class OccupancyImager:
         points = np.stack([world_x.ravel(), world_y.ravel()], axis=1)
         image[0] = field.collides_many(points).reshape(size, size).astype(np.float64)
         goal_vector = np.asarray(goal, dtype=np.float64) - np.asarray(position, dtype=np.float64)
-        goal_distance = float(np.linalg.norm(goal_vector))
+        goal_distance = float(planar_distances(goal_vector))
         goal_bearing = float(np.arctan2(goal_vector[1], goal_vector[0]) - heading)
         image[1, :, :] = 0.5 * (1.0 + np.cos(goal_bearing))
         image[2, :, :] = min(1.0, goal_distance / self.goal_distance_scale_m)
         return image
+
+    def render_many(
+        self,
+        field: ObstacleField,
+        positions: np.ndarray,
+        headings: np.ndarray,
+        goals: np.ndarray,
+    ) -> np.ndarray:
+        """Egocentric images for many vehicles via one occupancy query.
+
+        ``positions``/``goals`` are ``(N, 2)`` and ``headings`` ``(N,)``;
+        slice ``i`` of the ``(N, C, H, W)`` result is bit-identical to
+        ``render(field, positions[i], headings[i], goals[i])``.
+        """
+        positions = np.asarray(positions, dtype=np.float64).reshape(-1, 2)
+        goals = np.asarray(goals, dtype=np.float64).reshape(-1, 2)
+        headings = np.asarray(headings, dtype=np.float64).reshape(-1)
+        count = positions.shape[0]
+        size = self.image_size
+        images = np.zeros((count,) + self.shape, dtype=np.float64)
+        cos_h, sin_h = np.cos(headings), np.sin(headings)
+        forward = (np.arange(size) + 0.5) / size * self.window_m
+        lateral = ((np.arange(size) + 0.5) / size - 0.5) * self.window_m
+        fwd_grid, lat_grid = np.meshgrid(forward, lateral, indexing="ij")
+        world_x = (
+            positions[:, 0, None, None]
+            + fwd_grid[None, :, :] * cos_h[:, None, None]
+            - lat_grid[None, :, :] * sin_h[:, None, None]
+        )
+        world_y = (
+            positions[:, 1, None, None]
+            + fwd_grid[None, :, :] * sin_h[:, None, None]
+            + lat_grid[None, :, :] * cos_h[:, None, None]
+        )
+        points = np.stack([world_x.ravel(), world_y.ravel()], axis=1)
+        images[:, 0] = (
+            field.collides_many(points).reshape(count, size, size).astype(np.float64)
+        )
+        goal_vectors = goals - positions
+        goal_distances = planar_distances(goal_vectors)
+        goal_bearings = np.arctan2(goal_vectors[:, 1], goal_vectors[:, 0]) - headings
+        images[:, 1] = (0.5 * (1.0 + np.cos(goal_bearings)))[:, None, None]
+        images[:, 2] = np.minimum(1.0, goal_distances / self.goal_distance_scale_m)[
+            :, None, None
+        ]
+        return images

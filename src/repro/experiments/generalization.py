@@ -20,6 +20,7 @@ Fig. 5 extended across world families.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -30,7 +31,7 @@ from repro.core.scenarios import (
     POLICY_VARIANTS,
     GeneralizedScenario,
 )
-from repro.runtime.jobs import SweepSpec
+from repro.runtime.jobs import ExecutionContext, JobSpec, SweepSpec, job_kind
 from repro.uav.platform import UavPlatform
 from repro.utils.tables import Table
 from repro.worlds.spec import WorldSpec
@@ -149,6 +150,212 @@ def assemble_generalization(
             berry_drop_vs_p0_pct=max(0.0, baseline - berry_now),
             mean_energy_savings_x=mean(rows, "energy_savings_x"),
             mean_missions_change_pct=mean(rows, "missions_change_pct"),
+        )
+    return table
+
+
+# ---------------------------------------------------------------------- measured rollouts
+#: World seeds rolled out per (family, preset) cell of the measured sweep.
+ROLLOUT_WORLD_SEEDS: Tuple[int, ...] = (0, 1)
+
+#: Bit-error levels the measured rollout sweep evaluates (percent).
+ROLLOUT_BER_LEVELS: Tuple[float, ...] = (0.0, 1.0)
+
+
+def generalization_rollout_sweep_spec(
+    presets: Sequence[Tuple[str, Mapping[str, Any]]] = FAMILY_PRESETS,
+    seeds: Sequence[int] = ROLLOUT_WORLD_SEEDS,
+    ber_levels: Sequence[float] = ROLLOUT_BER_LEVELS,
+    num_episodes: int = 8,
+    training_episodes: int = 60,
+    hidden_units: Sequence[int] = (32, 32),
+    policy_seed: int = 0,
+    num_fault_maps: int = 4,
+    platform: str = "crazyflie",
+) -> SweepSpec:
+    """*Measured* policy success across generated world families.
+
+    Where the ``generalization`` sweep maps world geometry onto the
+    calibrated Fig. 5 curves, every job here trains a reduced-scale policy
+    *in* its generated world, rolls it out on the lockstep batched core
+    (clean, and under persistent fault maps at the requested BER), and
+    reports measured success plus the quality-of-flight that follows from
+    the measured path lengths.  48 jobs at the defaults
+    (12 family presets x 2 world seeds x 2 BER levels).
+    """
+    jobs = tuple(
+        JobSpec(
+            kind="rollout.generalized",
+            params={
+                "world": WorldSpec(family=family, params=dict(params), seed=int(seed)).to_jsonable(),
+                "ber_percent": float(ber),
+                "num_episodes": int(num_episodes),
+                "training_episodes": int(training_episodes),
+                "hidden_units": [int(units) for units in hidden_units],
+                "policy_seed": int(policy_seed),
+                "num_fault_maps": int(num_fault_maps),
+                "platform": str(platform),
+            },
+        )
+        for family, params in presets
+        for seed in seeds
+        for ber in ber_levels
+    )
+    return SweepSpec(
+        name="generalization-rollouts",
+        description="Measured policy rollouts (batched core) across generated world families",
+        jobs=jobs,
+    )
+
+
+@job_kind("rollout.generalized")
+def _run_rollout_generalized(spec: JobSpec, context: ExecutionContext) -> Dict[str, Any]:
+    """Train + roll out one reduced-scale policy in one generated world.
+
+    Everything — the world, the policy initialisation, training exploration,
+    fault maps and evaluation episodes — derives from the job spec, so any
+    worker reproduces the identical measured numbers.  Rollouts run on the
+    batched core (`~repro.envs.batch.BatchedNavigationEnv`); the measured
+    per-episode path lengths then advance through the vectorized UAV flight
+    chain in one `~repro.uav.flight.FlightModel.fly_missions` call.
+    """
+    import numpy as np
+
+    from repro.envs.navigation import NavigationConfig
+    from repro.envs.navigation import NavigationEnv
+    from repro.envs.sensors import RaySensor
+    from repro.nn.policies import mlp
+    from repro.rl.dqn import DqnConfig, DqnTrainer
+    from repro.rl.evaluation import evaluate_policy, evaluate_under_faults
+    from repro.rl.schedules import LinearDecay
+    from repro.uav.battery import missions_per_charge
+    from repro.uav.flight import FlightModel
+    from repro.uav.platform import get_platform
+
+    params = spec.params
+    world_spec = WorldSpec.from_jsonable(params["world"])
+    config = NavigationConfig(
+        world_spec=world_spec,
+        observation="vector",
+        ray_sensor=RaySensor(num_rays=8, max_range_m=5.0, step_m=0.2),
+        max_steps=60,
+        max_speed_m_s=2.5,
+        goal_radius_m=1.2,
+        start_position_noise_m=0.5,
+    )
+    env = NavigationEnv(config, rng=spec.seed)
+    trainer = DqnTrainer(
+        env,
+        policy_spec=mlp(tuple(int(units) for units in params["hidden_units"])),
+        config=DqnConfig(
+            gamma=0.95,
+            learning_rate=2e-3,
+            batch_size=32,
+            buffer_capacity=6000,
+            learning_starts=100,
+            train_frequency=2,
+            target_update_interval=150,
+            epsilon_schedule=LinearDecay(start=1.0, end=0.08, decay_steps=1200),
+        ),
+        rng=int(params["policy_seed"]) + spec.seed,
+    )
+    trainer.train(int(params["training_episodes"]))
+    network = trainer.q_network
+
+    ber_percent = float(params["ber_percent"])
+    num_episodes = int(params["num_episodes"])
+    if ber_percent <= 0.0:
+        evaluation = evaluate_policy(env, network, num_episodes, rng=spec.seed + 1)
+        success = evaluation.success_rate
+        collision_rate: Optional[float] = evaluation.collision_rate
+        mean_steps: Optional[float] = evaluation.mean_steps
+        mean_path = evaluation.mean_path_length_m
+    else:
+        point = evaluate_under_faults(
+            env,
+            network,
+            ber_percent=ber_percent,
+            num_fault_maps=int(params["num_fault_maps"]),
+            episodes_per_map=num_episodes,
+            rng=spec.seed + 1,
+        )
+        success = point.success_rate
+        collision_rate = None
+        mean_steps = None
+        mean_path = point.mean_path_length_m
+
+    platform = get_platform(str(params["platform"]))
+    if math.isnan(mean_path):
+        # No mission succeeded anywhere: no measured path, no flight energy.
+        mean_path_out: Optional[float] = None
+        flight_energy: Optional[float] = None
+        missions = 0.0
+    else:
+        mean_path_out = mean_path
+        flight = FlightModel(platform).fly_missions(
+            payload_g=0.0,
+            compute_power_w=platform.compute_power_nominal_w,
+            nominal_distance_m=np.asarray([mean_path]),
+        )
+        flight_energy = float(flight.flight_energy_j[0])
+        missions = float(
+            missions_per_charge(success, platform.battery_capacity_j, flight_energy)
+        )
+    return {
+        "family": world_spec.family,
+        "world": world_spec.name,
+        "world_seed": world_spec.seed,
+        "ber_percent": ber_percent,
+        "num_episodes": num_episodes,
+        "training_episodes": int(params["training_episodes"]),
+        "success_pct": 100.0 * success,
+        "collision_pct": None if collision_rate is None else 100.0 * collision_rate,
+        "mean_steps": mean_steps,
+        "mean_path_m": mean_path_out,
+        "flight_energy_j": flight_energy,
+        "missions_per_charge": missions,
+        "platform": platform.name,
+    }
+
+
+def assemble_generalization_rollouts(
+    sweep: SweepSpec, results: Sequence[Optional[Dict[str, Any]]]
+) -> Table:
+    """Aggregate measured rollout rows per family x BER level."""
+    groups: Dict[Tuple[str, float], List[Dict[str, Any]]] = defaultdict(list)
+    for row in results:
+        if row is not None:
+            groups[(str(row["family"]), float(row["ber_percent"]))].append(row)
+
+    def nanmean(rows: List[Dict[str, Any]], key: str) -> Optional[float]:
+        values = [
+            float(row[key])
+            for row in rows
+            if row.get(key) is not None and not math.isnan(float(row[key]))
+        ]
+        return sum(values) / len(values) if values else None
+
+    table = Table(
+        title="Generalization (measured): trained-policy rollouts across world families",
+        columns=[
+            "family",
+            "ber_percent",
+            "num_worlds",
+            "measured_success_pct",
+            "mean_path_m",
+            "mean_flight_energy_j",
+            "mean_missions_per_charge",
+        ],
+    )
+    for (family, ber), rows in sorted(groups.items()):
+        table.add_row(
+            family=family,
+            ber_percent=ber,
+            num_worlds=len(rows),
+            measured_success_pct=nanmean(rows, "success_pct"),
+            mean_path_m=nanmean(rows, "mean_path_m"),
+            mean_flight_energy_j=nanmean(rows, "flight_energy_j"),
+            mean_missions_per_charge=nanmean(rows, "missions_per_charge"),
         )
     return table
 

@@ -106,6 +106,45 @@ class BitErrorInjector:
         return self.layout.total_bits
 
     # ------------------------------------------------------------------ core operator
+    def quantize_state(
+        self, state: Mapping[str, np.ndarray]
+    ) -> Dict[str, QuantizedTensor]:
+        """Quantize every tensor of ``state`` once, for repeated corruption.
+
+        The fault-map evaluation protocol corrupts the *same* deployed
+        parameters under hundreds of maps; quantization (per-tensor scale
+        search plus rounding) is by far the most expensive part of the
+        ``BErr_p`` operator, so it is hoisted here and
+        :meth:`perturb_quantized_state` then corrupts per-map views of the
+        stored integer codes.
+        """
+        quantized: Dict[str, QuantizedTensor] = {}
+        for name, values in state.items():
+            self.layout.segment(name)  # validate the tensor has a placement
+            quantized[name] = quantize(np.asarray(values, dtype=np.float64), self.quantization)
+        return quantized
+
+    def perturb_quantized_state(
+        self, quantized: Mapping[str, QuantizedTensor], fault_map: FaultMap
+    ) -> Dict[str, np.ndarray]:
+        """Corrupt an already-quantized state under one fault map and dequantize.
+
+        ``quantized`` is never modified; each call produces an independent
+        dequantized view, so one :meth:`quantize_state` result serves any
+        number of fault maps.
+        """
+        if fault_map.memory_bits < self.layout.total_bits:
+            raise FaultModelError(
+                f"fault map covers {fault_map.memory_bits} bits but the parameters occupy "
+                f"{self.layout.total_bits} bits"
+            )
+        perturbed: Dict[str, np.ndarray] = {}
+        for name, tensor in quantized.items():
+            segment = self.layout.segment(name)
+            corrupted = self._corrupt_tensor(tensor, fault_map, segment.bit_offset)
+            perturbed[name] = corrupted.dequantize().reshape(segment.shape)
+        return perturbed
+
     def perturb_state_dict(
         self, state: Mapping[str, np.ndarray], fault_map: FaultMap
     ) -> Dict[str, np.ndarray]:
@@ -115,18 +154,7 @@ class BitErrorInjector:
         8-bit rounding the deployed accelerator imposes), corrupted according
         to the fault map at its memory location, and dequantized.
         """
-        if fault_map.memory_bits < self.layout.total_bits:
-            raise FaultModelError(
-                f"fault map covers {fault_map.memory_bits} bits but the parameters occupy "
-                f"{self.layout.total_bits} bits"
-            )
-        perturbed: Dict[str, np.ndarray] = {}
-        for name, values in state.items():
-            segment = self.layout.segment(name)
-            tensor = quantize(np.asarray(values, dtype=np.float64), self.quantization)
-            corrupted = self._corrupt_tensor(tensor, fault_map, segment.bit_offset)
-            perturbed[name] = corrupted.dequantize().reshape(segment.shape)
-        return perturbed
+        return self.perturb_quantized_state(self.quantize_state(state), fault_map)
 
     def perturb_network(self, network: Sequential, fault_map: FaultMap) -> Sequential:
         """Clone ``network`` and load the bit-error-perturbed parameters into the clone."""

@@ -11,11 +11,13 @@ from repro.rl.replay_buffer import ReplayBuffer, Transition
 from repro.rl.schedules import ConstantSchedule, ExponentialDecay, LinearDecay
 from repro.rl.dqn import DqnConfig, DqnTrainer, TrainingHistory
 from repro.rl.evaluation import (
+    GreedyPolicy,
     PolicyEvaluation,
     RobustnessPoint,
     evaluate_policy,
     evaluate_under_faults,
     greedy_policy,
+    robustness_curve,
 )
 
 __all__ = [
@@ -27,9 +29,11 @@ __all__ = [
     "DqnConfig",
     "DqnTrainer",
     "TrainingHistory",
+    "GreedyPolicy",
     "PolicyEvaluation",
     "RobustnessPoint",
     "evaluate_policy",
     "evaluate_under_faults",
     "greedy_policy",
+    "robustness_curve",
 ]

@@ -2,38 +2,69 @@
 
 The paper evaluates every operating point over many persistent fault maps
 (500 per point at full scale) and reports the average task success rate and
-path statistics.  :func:`evaluate_under_faults` reproduces that protocol: for
-each fault map the deployed (quantized) policy parameters are corrupted once,
-the corrupted policy flies a batch of missions, and the per-map success rates
-are averaged.
+path statistics.  :func:`evaluate_under_faults` reproduces that protocol on
+the lockstep batched rollout core: the clean policy parameters are quantized
+*once*, each fault map corrupts a per-map view of the stored integer codes,
+and the corrupted policy flies its mission batch with one
+``network.forward`` per lockstep step instead of one per observation.
+
+Policies are batch-first: :class:`GreedyPolicy` implements the
+:data:`~repro.envs.vector.BatchPolicy` protocol (observation matrix ->
+action vector) while remaining callable on a single observation for the
+legacy scalar :data:`~repro.envs.vector.PolicyFn` protocol.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.envs.batch import BatchedNavigationEnv, DEFAULT_BATCH_SIZE, run_batched_episodes
 from repro.envs.navigation import NavigationEnv
-from repro.envs.vector import EpisodeResult, run_episodes, success_rate
+from repro.envs.vector import (
+    BatchPolicy,
+    EpisodeResult,
+    PolicyFn,
+    mean_path_length,
+    run_episodes,
+    success_rate,
+)
 from repro.faults.fault_map import FaultMap
 from repro.faults.injection import BitErrorInjector
 from repro.nn.network import Sequential
 from repro.quant.fixed_point import QuantizationConfig
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 
-PolicyFn = Callable[[np.ndarray], int]
 
+class GreedyPolicy:
+    """Greedy action selection over a Q-network, batch-first.
 
-def greedy_policy(network: Sequential) -> PolicyFn:
-    """Wrap a Q-network into a greedy policy callable."""
+    :meth:`act_batch` is the native batched protocol — one forward over the
+    whole observation matrix plus a row-wise argmax — and ``__call__`` keeps
+    the legacy single-observation protocol so the policy drops into both the
+    lockstep batched core and the serial episode loop.
+    """
 
-    def policy(observation: np.ndarray) -> int:
-        q_values = network.forward(observation[np.newaxis, ...])
+    is_batch_policy = True
+
+    def __init__(self, network: Sequential) -> None:
+        self.network = network
+
+    def act_batch(self, observations: np.ndarray) -> np.ndarray:
+        q_values = self.network.forward(np.asarray(observations, dtype=np.float64))
+        return np.argmax(q_values, axis=1)
+
+    def __call__(self, observation: np.ndarray) -> int:
+        q_values = self.network.forward(observation[np.newaxis, ...])
         return int(np.argmax(q_values[0]))
 
-    return policy
+
+def greedy_policy(network: Sequential) -> GreedyPolicy:
+    """Wrap a Q-network into a greedy (batch-capable) policy."""
+    return GreedyPolicy(network)
 
 
 @dataclass(frozen=True)
@@ -51,14 +82,15 @@ class PolicyEvaluation:
     def from_results(cls, results: Sequence[EpisodeResult]) -> "PolicyEvaluation":
         if not results:
             raise ValueError("cannot summarise an empty list of episode results")
-        successful = [r for r in results if r.success]
-        path_lengths = [r.path_length_m for r in (successful or results)]
         return cls(
             num_episodes=len(results),
             success_rate=success_rate(results),
             collision_rate=sum(1 for r in results if r.collision) / len(results),
             mean_steps=float(np.mean([r.steps for r in results])),
-            mean_path_length_m=float(np.mean(path_lengths)),
+            # Over successful episodes only, consistent with
+            # mean_path_length(successful_only=True): NaN when nothing
+            # succeeded, never a silent fallback to failed-episode paths.
+            mean_path_length_m=mean_path_length(results),
             mean_reward=float(np.mean([r.total_reward for r in results])),
         )
 
@@ -80,14 +112,33 @@ class RobustnessPoint:
         return 100.0 * self.success_rate
 
 
+def _episode_reset_base(rng: np.random.Generator, num_episodes: int) -> int:
+    """A reset-seed base such that ``base + i`` stays a valid 31-bit seed."""
+    return int(rng.integers(0, 2**31 - 1 - num_episodes))
+
+
 def evaluate_policy(
     env: NavigationEnv,
     network: Sequential,
     num_episodes: int = 20,
     rng: SeedLike = 0,
+    batch_size: Optional[int] = None,
 ) -> PolicyEvaluation:
-    """Evaluate a (float, error-free) policy network greedily over many episodes."""
-    results = run_episodes(env, greedy_policy(network), num_episodes, rng=rng)
+    """Evaluate a (float, error-free) policy network greedily over many episodes.
+
+    Episodes are reset-seeded from ``rng`` and executed in lockstep batches
+    (see :func:`~repro.envs.vector.run_episodes`); the wrapped ``env`` is
+    left untouched.
+    """
+    reset_base = _episode_reset_base(as_generator(rng), num_episodes)
+    results = run_episodes(
+        env,
+        greedy_policy(network),
+        num_episodes,
+        rng=rng,
+        reset_seed=reset_base,
+        batch_size=batch_size,
+    )
     return PolicyEvaluation.from_results(results)
 
 
@@ -101,14 +152,18 @@ def evaluate_under_faults(
     fault_maps: Optional[Sequence[FaultMap]] = None,
     stuck_at_1_bias: float = 0.5,
     rng: SeedLike = 0,
+    batch_size: Optional[int] = None,
 ) -> RobustnessPoint:
     """Evaluate the deployed policy under persistent bit errors.
 
-    For each fault map, the policy parameters are quantized, corrupted once and
-    the corrupted policy flies ``episodes_per_map`` missions; success rates are
-    averaged over maps, mirroring the paper's 500-fault-map protocol.
-    ``fault_maps`` overrides the random-map sampling (used for the profiled
-    chips of Table III and for on-device evaluation at a fixed map).
+    For each fault map, the (once-)quantized policy parameters are corrupted
+    and the corrupted policy flies ``episodes_per_map`` missions on the
+    batched rollout core; success rates are averaged over maps, mirroring the
+    paper's 500-fault-map protocol.  ``fault_maps`` overrides the random-map
+    sampling (used for the profiled chips of Table III and for on-device
+    evaluation at a fixed map).  Per-map path lengths average successful
+    missions only; a map that loses every mission contributes no path sample
+    (the aggregate is NaN only when *every* map lost every mission).
     """
     injector = BitErrorInjector.for_network(network, quantization)
     map_rng, episode_rng = spawn_generators(rng, 2)
@@ -128,25 +183,34 @@ def evaluate_under_faults(
     if not maps:
         raise ValueError("at least one fault map is required")
 
+    # Quantize the clean parameters once; each map corrupts a per-map view.
+    quantized = injector.quantize_state(network.state_dict())
+    deployed = network.clone()
+    lanes = min(episodes_per_map, batch_size if batch_size is not None else DEFAULT_BATCH_SIZE)
+    batch_env = BatchedNavigationEnv.from_env(env, batch_size=max(1, lanes))
+
     per_map_success: List[float] = []
     per_map_paths: List[float] = []
     for fault_map in maps:
-        perturbed = injector.perturb_network(network, fault_map)
-        results = run_episodes(
-            env, greedy_policy(perturbed), episodes_per_map, rng=episode_rng
+        deployed.load_state_dict(injector.perturb_quantized_state(quantized, fault_map))
+        reset_base = _episode_reset_base(episode_rng, episodes_per_map)
+        results = run_batched_episodes(
+            batch_env,
+            greedy_policy(deployed),
+            episodes_per_map,
+            reset_seed=reset_base,
         )
         per_map_success.append(success_rate(results))
-        successful = [r for r in results if r.success]
-        reference = successful or results
-        per_map_paths.append(float(np.mean([r.path_length_m for r in reference])))
+        per_map_paths.append(mean_path_length(results))
 
+    path_samples = [path for path in per_map_paths if not math.isnan(path)]
     return RobustnessPoint(
         ber_percent=ber_percent,
         num_fault_maps=len(maps),
         episodes_per_map=episodes_per_map,
         success_rate=float(np.mean(per_map_success)),
         success_rate_std=float(np.std(per_map_success)),
-        mean_path_length_m=float(np.mean(per_map_paths)),
+        mean_path_length_m=float(np.mean(path_samples)) if path_samples else float("nan"),
         per_map_success_rates=tuple(per_map_success),
     )
 

@@ -127,6 +127,11 @@ def rollout_sweep_spec(
                 "hidden_units": [int(units) for units in hidden_units],
                 "epsilon": float(epsilon),
                 "policy_seed": int(policy_seed),
+                # Rollout-protocol version, part of the spec hash: v2 runs on
+                # the lockstep batched core with per-episode exploration
+                # streams, so results cached/journaled under the v1 serial
+                # shared-stream protocol can never be served for these jobs.
+                "protocol": 2,
             },
         )
         for density in ObstacleDensity
@@ -145,11 +150,14 @@ def _run_rollout_episodes(spec: JobSpec, context: ExecutionContext) -> Dict[str,
 
     All randomness — environment layout, policy initialisation, exploration —
     derives from the spec hash, so any worker that picks this job up produces
-    the identical episode batch.
+    the identical episode batch.  Episodes execute on the lockstep batched
+    core: every exploration draw comes from the episode's own spawned stream,
+    so the results are independent of the lane count.
     """
+    from repro.envs.batch import BatchedNavigationEnv, run_batched_episodes
     from repro.envs.navigation import NavigationEnv
     from repro.envs.obstacles import ObstacleDensity
-    from repro.envs.vector import run_episodes, success_rate
+    from repro.envs.vector import success_rate
     from repro.experiments.profiles import FAST_PROFILE
     from repro.nn.policies import build_policy, mlp
     from repro.rl.evaluation import greedy_policy
@@ -163,10 +171,12 @@ def _run_rollout_episodes(spec: JobSpec, context: ExecutionContext) -> Dict[str,
         num_actions=env.action_space.n,
         rng=int(params["policy_seed"]),
     )
-    results = run_episodes(
-        env,
+    num_episodes = int(params["num_episodes"])
+    batch_env = BatchedNavigationEnv.from_env(env, batch_size=max(1, num_episodes))
+    results = run_batched_episodes(
+        batch_env,
         greedy_policy(network),
-        num_episodes=int(params["num_episodes"]),
+        num_episodes=num_episodes,
         epsilon=float(params["epsilon"]),
         rng=spec.seed,
         reset_seed=spec.seed,
@@ -268,6 +278,12 @@ def _register_all() -> None:
         "Generated worlds (6 families x 2 presets x 5 seeds) x platforms x policies x BER",
         generalization.generalization_sweep_spec,
         generalization.assemble_generalization,
+    )
+    register_sweep(
+        "generalization-rollouts",
+        "Measured policy rollouts (trained in-world, batched core) per family x BER",
+        generalization.generalization_rollout_sweep_spec,
+        generalization.assemble_generalization_rollouts,
     )
     _register_generator(
         "fig1",

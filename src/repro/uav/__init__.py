@@ -14,7 +14,7 @@ time, flight energy and ultimately the number of missions per battery charge.
 
 from repro.uav.platform import UavPlatform, CRAZYFLIE, DJI_TELLO, get_platform
 from repro.uav.dynamics import UavDynamics
-from repro.uav.flight import FlightModel, FlightOutcome, detour_factor
+from repro.uav.flight import FlightModel, FlightOutcome, FlightOutcomeBatch, detour_factor
 from repro.uav.battery import Battery, missions_per_charge
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "UavDynamics",
     "FlightModel",
     "FlightOutcome",
+    "FlightOutcomeBatch",
     "detour_factor",
     "Battery",
     "missions_per_charge",

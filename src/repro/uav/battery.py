@@ -13,22 +13,33 @@ battery and 53.19 J missions give the paper's 55.35 missions at 1 V.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.uav.platform import UavPlatform
+from repro.uav.platform import ArrayLike, UavPlatform, _scalar_or_array
 
 
 def missions_per_charge(
-    success_rate: float, battery_capacity_j: float, flight_energy_j: float
-) -> float:
-    """Expected number of successful missions per battery charge."""
-    if not 0.0 <= success_rate <= 1.0:
+    success_rate: ArrayLike, battery_capacity_j: ArrayLike, flight_energy_j: ArrayLike
+) -> Union[float, np.ndarray]:
+    """Expected number of successful missions per battery charge.
+
+    Vectorized: any argument may be an array (e.g. the per-mission energies
+    of a :class:`~repro.uav.flight.FlightOutcomeBatch`), broadcasting
+    elementwise.
+    """
+    success = np.asarray(success_rate, dtype=np.float64)
+    capacity = np.asarray(battery_capacity_j, dtype=np.float64)
+    energy = np.asarray(flight_energy_j, dtype=np.float64)
+    if np.any((success < 0.0) | (success > 1.0)):
         raise ConfigurationError(f"success_rate must be in [0, 1], got {success_rate}")
-    if battery_capacity_j <= 0:
+    if np.any(capacity <= 0):
         raise ConfigurationError(f"battery capacity must be positive, got {battery_capacity_j}")
-    if flight_energy_j <= 0:
+    if np.any(energy <= 0):
         raise ConfigurationError(f"flight energy must be positive, got {flight_energy_j}")
-    return success_rate * battery_capacity_j / flight_energy_j
+    return _scalar_or_array(success * capacity / energy)
 
 
 @dataclass

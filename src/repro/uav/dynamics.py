@@ -17,11 +17,13 @@ stopping distance of 1.95 m.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.uav.platform import UavPlatform
+from repro.uav.platform import ArrayLike, UavPlatform, _scalar_or_array
 
 GRAVITY_M_S2 = 9.81
 
@@ -39,29 +41,35 @@ class UavDynamics:
                 f"stopping distance must be positive, got {self.stopping_distance_m}"
             )
 
-    def acceleration_m_s2(self, payload_g: float) -> float:
+    # Scalar inputs give scalars (the original API); arrays broadcast so a
+    # whole payload/operating-point sweep advances in one call.
+    def acceleration_m_s2(self, payload_g: ArrayLike) -> Union[float, np.ndarray]:
         """Net acceleration budget ``T/m − g`` for a given payload (grams)."""
-        mass_kg = self.platform.total_mass_kg(payload_g)
+        mass_kg = np.asarray(self.platform.total_mass_kg(payload_g))
         acceleration = self.platform.max_thrust_n / mass_kg - GRAVITY_M_S2
-        if acceleration <= 0:
+        if np.any(acceleration <= 0):
+            heaviest = float(np.max(np.asarray(payload_g, dtype=np.float64)))
             raise ConfigurationError(
-                f"{self.platform.name} cannot lift a payload of {payload_g:.2f} g "
+                f"{self.platform.name} cannot lift a payload of {heaviest:.2f} g "
                 f"(thrust {self.platform.max_thrust_n} N)"
             )
-        return acceleration
+        return _scalar_or_array(acceleration)
 
-    def max_safe_velocity_m_s(self, payload_g: float) -> float:
+    def max_safe_velocity_m_s(self, payload_g: ArrayLike) -> Union[float, np.ndarray]:
         """Highest velocity from which the UAV can stop within its sensing range."""
-        acceleration = self.acceleration_m_s2(payload_g)
-        return math.sqrt(2.0 * acceleration * self.stopping_distance_m)
+        acceleration = np.asarray(self.acceleration_m_s2(payload_g))
+        return _scalar_or_array(np.sqrt(2.0 * acceleration * self.stopping_distance_m))
 
-    def velocity_from_acceleration(self, acceleration_m_s2: float) -> float:
+    def velocity_from_acceleration(
+        self, acceleration_m_s2: ArrayLike
+    ) -> Union[float, np.ndarray]:
         """Safe velocity for a given acceleration budget (Fig. 6c relationship)."""
-        if acceleration_m_s2 <= 0:
+        acceleration = np.asarray(acceleration_m_s2, dtype=np.float64)
+        if np.any(acceleration <= 0):
             raise ConfigurationError(
                 f"acceleration must be positive, got {acceleration_m_s2}"
             )
-        return math.sqrt(2.0 * acceleration_m_s2 * self.stopping_distance_m)
+        return _scalar_or_array(np.sqrt(2.0 * acceleration * self.stopping_distance_m))
 
     def max_payload_g(self) -> float:
         """Largest payload that still leaves a positive acceleration budget."""

@@ -15,24 +15,25 @@ see DESIGN.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.uav.dynamics import UavDynamics
-from repro.uav.platform import UavPlatform
+from repro.uav.platform import ArrayLike, UavPlatform, _scalar_or_array
 
 
-def detour_factor(success_rate_drop_pct: float) -> float:
+def detour_factor(success_rate_drop_pct: ArrayLike) -> Union[float, np.ndarray]:
     """Path-length inflation caused by corrupted (sub-optimal) flight actions.
 
     ``success_rate_drop_pct`` is the drop in task success rate, in percentage
     points, relative to the error-free policy; the quadratic fit reproduces
     the flight-distance column of Table II (e.g. a 38-point drop gives a
-    ~1.65x longer path).
+    ~1.65x longer path).  Accepts arrays elementwise.
     """
-    if success_rate_drop_pct < 0:
-        success_rate_drop_pct = 0.0
-    return 1.0 + 0.0235 * success_rate_drop_pct - 1.7e-4 * success_rate_drop_pct**2
+    drop = np.maximum(np.asarray(success_rate_drop_pct, dtype=np.float64), 0.0)
+    return _scalar_or_array(1.0 + 0.0235 * drop - 1.7e-4 * drop**2)
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,49 @@ class FlightOutcome:
     @property
     def compute_power_fraction(self) -> float:
         return self.compute_power_w / self.total_power_w
+
+
+@dataclass(frozen=True)
+class FlightOutcomeBatch:
+    """Quality-of-flight metrics for a batch of missions, as stacked arrays.
+
+    Produced by :meth:`FlightModel.fly_missions`: every field is a float64
+    array of the common broadcast shape, so B mission states (e.g. the
+    measured per-episode path lengths of a batched rollout) advance through
+    the kinematics/energy chain in one call.
+    """
+
+    payload_g: np.ndarray
+    acceleration_m_s2: np.ndarray
+    max_velocity_m_s: np.ndarray
+    average_velocity_m_s: np.ndarray
+    flight_distance_m: np.ndarray
+    flight_time_s: np.ndarray
+    rotor_power_w: np.ndarray
+    compute_power_w: np.ndarray
+    flight_energy_j: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.flight_energy_j.size)
+
+    @property
+    def total_power_w(self) -> np.ndarray:
+        return self.rotor_power_w + self.compute_power_w
+
+    def outcome(self, index: int) -> FlightOutcome:
+        """Mission ``index`` (row-major over the broadcast shape) as a scalar
+        :class:`FlightOutcome`."""
+        return FlightOutcome(
+            payload_g=float(self.payload_g.flat[index]),
+            acceleration_m_s2=float(self.acceleration_m_s2.flat[index]),
+            max_velocity_m_s=float(self.max_velocity_m_s.flat[index]),
+            average_velocity_m_s=float(self.average_velocity_m_s.flat[index]),
+            flight_distance_m=float(self.flight_distance_m.flat[index]),
+            flight_time_s=float(self.flight_time_s.flat[index]),
+            rotor_power_w=float(self.rotor_power_w.flat[index]),
+            compute_power_w=float(self.compute_power_w.flat[index]),
+            flight_energy_j=float(self.flight_energy_j.flat[index]),
+        )
 
 
 @dataclass(frozen=True)
@@ -99,29 +143,58 @@ class FlightModel:
         policy actions (Sec. III, "Flight time"): the flown distance is the
         nominal distance inflated by :func:`detour_factor`.
         """
-        if compute_power_w < 0:
+        return self.fly_missions(
+            payload_g, compute_power_w, nominal_distance_m, success_rate_drop_pct
+        ).outcome(0)
+
+    def fly_missions(
+        self,
+        payload_g: ArrayLike,
+        compute_power_w: ArrayLike,
+        nominal_distance_m: Optional[ArrayLike] = None,
+        success_rate_drop_pct: ArrayLike = 0.0,
+    ) -> FlightOutcomeBatch:
+        """Simulate a batch of missions in one vectorized call.
+
+        All four inputs broadcast against each other (any may be a scalar or
+        an array), so one call advances B mission states — e.g. the measured
+        per-episode path lengths from a batched rollout, or a whole payload x
+        voltage operating grid — through the payload -> acceleration ->
+        velocity -> time -> energy chain at once.
+        """
+        compute_power = np.asarray(compute_power_w, dtype=np.float64)
+        if np.any(compute_power < 0):
             raise ConfigurationError(f"compute power must be non-negative, got {compute_power_w}")
-        distance = nominal_distance_m if nominal_distance_m is not None else self.platform.mission_distance_m
-        if distance <= 0:
-            raise ConfigurationError(f"mission distance must be positive, got {distance}")
+        if nominal_distance_m is None:
+            distance = np.asarray(self.platform.mission_distance_m, dtype=np.float64)
+        else:
+            distance = np.asarray(nominal_distance_m, dtype=np.float64)
+        if np.any(distance <= 0):
+            raise ConfigurationError(f"mission distance must be positive, got {nominal_distance_m}")
         assert self.dynamics is not None
-        acceleration = self.dynamics.acceleration_m_s2(payload_g)
-        max_velocity = self.dynamics.max_safe_velocity_m_s(payload_g)
+        payload = np.asarray(payload_g, dtype=np.float64)
+        acceleration = np.asarray(self.dynamics.acceleration_m_s2(payload))
+        max_velocity = np.asarray(self.dynamics.max_safe_velocity_m_s(payload))
         average_velocity = self.velocity_efficiency * max_velocity
-        flown_distance = distance * detour_factor(success_rate_drop_pct)
+        flown_distance = distance * np.asarray(detour_factor(success_rate_drop_pct))
         flight_time = self.mission_overhead_s + flown_distance / average_velocity
-        rotor_power = self.platform.rotor_power_w(payload_g)
-        flight_energy = (rotor_power + compute_power_w) * flight_time
-        return FlightOutcome(
-            payload_g=payload_g,
-            acceleration_m_s2=acceleration,
-            max_velocity_m_s=max_velocity,
-            average_velocity_m_s=average_velocity,
-            flight_distance_m=flown_distance,
-            flight_time_s=flight_time,
-            rotor_power_w=rotor_power,
-            compute_power_w=compute_power_w,
-            flight_energy_j=flight_energy,
+        rotor_power = np.asarray(self.platform.rotor_power_w(payload))
+        flight_energy = (rotor_power + compute_power) * flight_time
+        # Always at least 1-D, so len()/outcome(i) work for all-scalar inputs.
+        shape = np.broadcast_shapes(
+            (1,), payload.shape, compute_power.shape, flown_distance.shape, flight_time.shape
+        )
+        expand = lambda values: np.broadcast_to(np.asarray(values, dtype=np.float64), shape).copy()
+        return FlightOutcomeBatch(
+            payload_g=expand(payload),
+            acceleration_m_s2=expand(acceleration),
+            max_velocity_m_s=expand(max_velocity),
+            average_velocity_m_s=expand(average_velocity),
+            flight_distance_m=expand(flown_distance),
+            flight_time_s=expand(flight_time),
+            rotor_power_w=expand(rotor_power),
+            compute_power_w=expand(compute_power),
+            flight_energy_j=expand(flight_energy),
         )
 
     def max_flight_time_s(self, payload_g: float, compute_power_w: float) -> float:

@@ -18,9 +18,23 @@ acceleration/velocity/energy points printed in Fig. 1, Fig. 6 and Table II
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Union
+
+import numpy as np
 
 from repro.errors import ConfigurationError
+
+#: Scalar-or-array input accepted by the vectorized platform relations.
+ArrayLike = Union[float, int, np.ndarray]
+
+
+def _scalar_or_array(values: np.ndarray) -> Union[float, np.ndarray]:
+    """Return a python float for 0-d results, the array otherwise.
+
+    Keeps the scalar API of the platform/dynamics relations unchanged while
+    letting B lockstep lane states advance through one array call.
+    """
+    return float(values) if np.ndim(values) == 0 else values
 
 
 @dataclass(frozen=True)
@@ -55,18 +69,22 @@ class UavPlatform:
             raise ConfigurationError("rotor_profile_power_w must be non-negative")
 
     # ------------------------------------------------------------------ derived quantities
-    def total_mass_kg(self, payload_g: float) -> float:
+    # Every relation below is vectorized: scalars give scalars (the original
+    # API), arrays broadcast elementwise so B lockstep mission states advance
+    # in one call.
+    def total_mass_kg(self, payload_g: ArrayLike) -> Union[float, np.ndarray]:
         """Takeoff mass including ``payload_g`` of extra payload (heatsink etc.)."""
-        if payload_g < 0:
+        payload = np.asarray(payload_g, dtype=np.float64)
+        if np.any(payload < 0):
             raise ConfigurationError(f"payload must be non-negative, got {payload_g}")
-        if payload_g > self.max_payload_g:
+        if np.any(payload > self.max_payload_g):
             raise ConfigurationError(
-                f"payload {payload_g:.2f} g exceeds the {self.name} maximum of "
+                f"payload {float(np.max(payload)):.2f} g exceeds the {self.name} maximum of "
                 f"{self.max_payload_g:.2f} g"
             )
-        return (self.base_mass_g + payload_g) * 1e-3
+        return _scalar_or_array((self.base_mass_g + payload) * 1e-3)
 
-    def rotor_power_w(self, payload_g: float) -> float:
+    def rotor_power_w(self, payload_g: ArrayLike) -> Union[float, np.ndarray]:
         """Cruise rotor power at a given payload.
 
         The model splits rotor power into a mass-independent profile/ESC term
@@ -74,13 +92,18 @@ class UavPlatform:
         from the flight-power figures the paper reports at different heatsink
         payloads (see DESIGN.md).
         """
-        mass_kg = self.total_mass_kg(payload_g)
-        return self.rotor_profile_power_w + self.rotor_induced_coeff_w_per_kg15 * mass_kg**1.5
+        mass_kg = np.asarray(self.total_mass_kg(payload_g))
+        return _scalar_or_array(
+            self.rotor_profile_power_w + self.rotor_induced_coeff_w_per_kg15 * mass_kg**1.5
+        )
 
-    def compute_power_fraction(self, payload_g: float, compute_power_w: float) -> float:
+    def compute_power_fraction(
+        self, payload_g: ArrayLike, compute_power_w: ArrayLike
+    ) -> Union[float, np.ndarray]:
         """Fraction of total power spent on processing (the paper's 6.5 % / 2.8 % numbers)."""
-        total = self.rotor_power_w(payload_g) + compute_power_w
-        return compute_power_w / total
+        compute = np.asarray(compute_power_w, dtype=np.float64)
+        total = np.asarray(self.rotor_power_w(payload_g)) + compute
+        return _scalar_or_array(compute / total)
 
 
 #: Bitcraze Crazyflie 2.1 nano UAV (Sec. V-A).  The 250 mAh / 3.7 V battery

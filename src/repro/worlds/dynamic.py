@@ -51,20 +51,43 @@ class MovingObstacle:
     def loop_length_m(self) -> float:
         return float(self._segment_lengths.sum())
 
-    def position_at(self, time_s: float) -> np.ndarray:
-        """Centre position at ``time_s`` (arc-length parameterised, looping)."""
+    def positions_at(self, times_s: np.ndarray) -> np.ndarray:
+        """Centre positions at many instants in one vectorized evaluation.
+
+        Row ``i`` of the ``(T, 2)`` result is bit-identical to
+        ``position_at(times_s[i])``: the per-segment arc-length subtraction
+        chain of the scalar walk is replayed exactly, just over the whole
+        time vector at once instead of one instant per call.
+        """
+        times = np.asarray(times_s, dtype=np.float64).reshape(-1)
         total = self.loop_length_m
         if total <= 0.0 or self.speed_m_s == 0.0:
-            return self.waypoints[0].copy()
-        arc = (self.phase_m + self.speed_m_s * float(time_s)) % total
+            return np.broadcast_to(self.waypoints[0], (times.size, 2)).copy()
+        arcs = (self.phase_m + self.speed_m_s * times) % total
+        positions = np.empty((times.size, 2), dtype=np.float64)
+        unresolved = np.ones(times.size, dtype=bool)
+        num_segments = len(self._segment_lengths)
         for index, length in enumerate(self._segment_lengths):
-            if arc <= length or index == len(self._segment_lengths) - 1:
-                fraction = 0.0 if length == 0.0 else min(1.0, arc / length)
+            length = float(length)
+            last = index == num_segments - 1
+            take = unresolved & ((arcs <= length) | last) if not last else unresolved
+            if take.any():
+                if length == 0.0:
+                    fractions = np.zeros(int(take.sum()), dtype=np.float64)
+                else:
+                    fractions = np.minimum(1.0, arcs[take] / length)
                 start = self.waypoints[index]
                 end = self.waypoints[(index + 1) % len(self.waypoints)]
-                return start + fraction * (end - start)
-            arc -= length
-        return self.waypoints[0].copy()  # pragma: no cover - loop always returns
+                positions[take] = start + fractions[:, None] * (end - start)
+                unresolved &= ~take
+                if not unresolved.any():
+                    break
+            arcs = np.where(unresolved, arcs - length, arcs)
+        return positions
+
+    def position_at(self, time_s: float) -> np.ndarray:
+        """Centre position at ``time_s`` (arc-length parameterised, looping)."""
+        return self.positions_at(np.array([float(time_s)]))[0]
 
 
 @dataclass(frozen=True)
@@ -98,6 +121,47 @@ class DynamicObstacleField(ObstacleField):
             radii=np.concatenate([self.radii, radii]),
         )
 
+    def segments_collide_timed(
+        self,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        start_times_s: np.ndarray,
+        end_times_s: np.ndarray,
+        vehicle_radius: float = 0.0,
+        samples: int = 8,
+    ) -> np.ndarray:
+        """Timed collision mask for a batch of motion segments.
+
+        Segment ``i`` of the result equals ``segment_collides_timed`` on row
+        ``i``.  Instead of freezing the whole field once per sample (a python
+        loop building a merged snapshot per instant), every (segment, sample)
+        pair is evaluated at once: the static circles and walls through one
+        :meth:`~repro.envs.obstacles.ObstacleField._collide_mask` query, and
+        all movers x samples through one broadcast segment-distance
+        computation over the vectorized mover trajectories.
+        """
+        starts = np.asarray(starts, dtype=np.float64).reshape(-1, 2)
+        ends = np.asarray(ends, dtype=np.float64).reshape(-1, 2)
+        start_times = np.asarray(start_times_s, dtype=np.float64).reshape(-1)
+        end_times = np.asarray(end_times_s, dtype=np.float64).reshape(-1)
+        count = starts.shape[0]
+        fractions = np.linspace(0.0, 1.0, max(2, samples))
+        points = starts[:, None, :] + fractions[None, :, None] * (ends - starts)[:, None, :]
+        flat_points = points.reshape(-1, 2)
+        # Static circles and world bounds: identical to the inherited query.
+        hit = ObstacleField._collide_mask(self, flat_points, vehicle_radius)
+        if self.movers and not hit.all():
+            times = (
+                start_times[:, None] + fractions[None, :] * (end_times - start_times)[:, None]
+            ).reshape(-1)
+            # (M, N*S, 2) mover centres at every sample instant.
+            centers = np.stack([mover.positions_at(times) for mover in self.movers])
+            radii = np.array([mover.radius for mover in self.movers], dtype=np.float64)
+            deltas = flat_points[None, :, :] - centers
+            distances = np.sqrt(np.sum(deltas**2, axis=2)) - radii[:, None]
+            hit |= (distances < vehicle_radius).any(axis=0)
+        return hit.reshape(count, fractions.size).any(axis=1)
+
     def segment_collides_timed(
         self,
         start: np.ndarray,
@@ -110,15 +174,15 @@ class DynamicObstacleField(ObstacleField):
         """Check a motion segment against obstacles *where they are en route*.
 
         Sample ``i`` of the vehicle's straight-line motion is tested against
-        the field frozen at the linearly interpolated time of that sample.
+        the movers placed at the linearly interpolated time of that sample.
         """
-        start = np.asarray(start, dtype=np.float64)
-        end = np.asarray(end, dtype=np.float64)
-        fractions = np.linspace(0.0, 1.0, max(2, samples))
-        for fraction in fractions:
-            snapshot = self.at_time(
-                float(start_time_s) + float(fraction) * (float(end_time_s) - float(start_time_s))
-            )
-            if snapshot.collides(start + fraction * (end - start), vehicle_radius):
-                return True
-        return False
+        return bool(
+            self.segments_collide_timed(
+                np.asarray(start, dtype=np.float64).reshape(1, 2),
+                np.asarray(end, dtype=np.float64).reshape(1, 2),
+                np.array([float(start_time_s)]),
+                np.array([float(end_time_s)]),
+                vehicle_radius,
+                samples,
+            )[0]
+        )

@@ -183,14 +183,18 @@ def world_rng(spec: WorldSpec, attempt: int = 0) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence(entropy, spawn_key=(attempt,)))
 
 
-def generate_world(spec: WorldSpec, max_attempts: int = 8) -> GeneratedWorld:
+def generate_world(spec: WorldSpec, max_attempts: int = 24) -> GeneratedWorld:
     """Compile ``spec`` into a validated, solvable world.
 
     Generation is retried with fresh derived seeds (all deterministic in the
     spec) until validation passes, so every world handed out honours the
-    solvability guarantee.  Results are memoized per process — generated
-    worlds are immutable, and sweep jobs that share a world (one per
-    platform/policy/BER cell) regenerate it for free.
+    solvability guarantee.  The budget is generous because some families at
+    tight presets (e.g. narrow-street urban mazes) occasionally need double-
+    digit draws before the BFS corridor check passes — retries are cheap and
+    fully deterministic, a failed budget is a hard error for the whole sweep
+    cell.  Results are memoized per process — generated worlds are
+    immutable, and sweep jobs that share a world (one per platform/policy/
+    BER cell) regenerate it for free.
     """
     return _generate_world_cached(spec, max_attempts)
 

@@ -1,0 +1,272 @@
+"""Tests for the lockstep batched rollout core.
+
+The load-bearing property is the determinism contract: greedy rollouts under
+per-episode reset seeds reproduce the serial ``run_episode`` loop *bitwise*,
+for any batch size, across every environment feature (perturbations,
+randomized worlds, generated worlds, moving obstacles).  That contract is
+what makes the batched core a refactor of the episode-execution stack rather
+than a second simulator.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.envs.batch import BatchedNavigationEnv, run_batched_episodes
+from repro.envs.navigation import NavigationConfig, NavigationEnv
+from repro.envs.obstacles import ObstacleDensity, ObstacleField
+from repro.envs.sensors import OccupancyImager, RaySensor
+from repro.envs.vector import as_batch_policy, run_episode, run_episodes
+from repro.errors import ConfigurationError, EnvironmentError_
+from repro.nn.policies import build_policy, mlp
+from repro.rl.evaluation import greedy_policy
+from repro.worlds.perturbations import SensorDegradation, WindGust
+from repro.worlds.spec import WorldSpec
+
+
+@pytest.fixture
+def batch_config() -> NavigationConfig:
+    """A small scenario with start noise so episodes differ under one world."""
+    return NavigationConfig(
+        world_size=(12.0, 12.0),
+        density=ObstacleDensity.SPARSE,
+        start=(1.5, 6.0),
+        goal=(10.5, 6.0),
+        goal_radius_m=1.2,
+        max_speed_m_s=2.5,
+        step_duration_s=0.5,
+        max_steps=30,
+        observation="vector",
+        ray_sensor=RaySensor(num_rays=6, max_range_m=4.0, step_m=0.25),
+        start_position_noise_m=0.8,
+    )
+
+
+def _greedy_for(config: NavigationConfig, rng: int = 0):
+    probe = NavigationEnv(config, rng=3)
+    network = build_policy(
+        mlp((24, 24)), probe.observation_space.shape, probe.action_space.n, rng=rng
+    )
+    return greedy_policy(network)
+
+
+def _serial_reference(config, policy, num_episodes, reset_seed, env_seed=3):
+    env = NavigationEnv(config, rng=env_seed)
+    return [
+        run_episode(env, policy, reset_seed=reset_seed + index)
+        for index in range(num_episodes)
+    ]
+
+
+class TestBatchedSerialEquivalence:
+    @pytest.mark.parametrize("batch_size", [1, 7, 64])
+    def test_greedy_rollouts_bitwise_match_serial(self, batch_config, batch_size):
+        policy = _greedy_for(batch_config)
+        serial = _serial_reference(batch_config, policy, 20, reset_seed=50)
+        env = BatchedNavigationEnv.from_env(
+            NavigationEnv(batch_config, rng=3), batch_size=batch_size
+        )
+        batched = run_batched_episodes(env, policy, 20, reset_seed=50)
+        # Dataclass equality covers floats (path length, reward) exactly.
+        assert batched == serial
+
+    def test_equivalence_with_perturbations(self, batch_config):
+        config = replace(
+            batch_config,
+            perturbations=(
+                WindGust(drift_m_s=(0.3, -0.1), gust_std_m_s=0.2),
+                SensorDegradation(dropout_prob=0.15, noise_std=0.05),
+            ),
+        )
+        policy = _greedy_for(config)
+        serial = _serial_reference(config, policy, 10, reset_seed=7)
+        env = BatchedNavigationEnv.from_env(NavigationEnv(config, rng=3), batch_size=4)
+        assert run_batched_episodes(env, policy, 10, reset_seed=7) == serial
+
+    def test_equivalence_with_randomized_worlds(self, batch_config):
+        config = replace(batch_config, randomize_obstacles_on_reset=True)
+        policy = _greedy_for(config)
+        serial = _serial_reference(config, policy, 8, reset_seed=21)
+        env = BatchedNavigationEnv.from_env(NavigationEnv(config, rng=3), batch_size=3)
+        assert run_batched_episodes(env, policy, 8, reset_seed=21) == serial
+
+    def test_equivalence_with_dynamic_generated_world(self, batch_config):
+        config = replace(batch_config, world_spec=WorldSpec("dynamic", seed=2))
+        policy = _greedy_for(config)
+        serial = _serial_reference(config, policy, 6, reset_seed=31)
+        env = BatchedNavigationEnv.from_env(NavigationEnv(config, rng=3), batch_size=4)
+        assert run_batched_episodes(env, policy, 6, reset_seed=31) == serial
+
+    def test_equivalence_with_image_observations(self, batch_config):
+        config = replace(
+            batch_config,
+            observation="image",
+            imager=OccupancyImager(image_size=8),
+            max_steps=12,
+        )
+        policy = _greedy_for(config)
+        serial = _serial_reference(config, policy, 4, reset_seed=13)
+        env = BatchedNavigationEnv.from_env(NavigationEnv(config, rng=3), batch_size=2)
+        assert run_batched_episodes(env, policy, 4, reset_seed=13) == serial
+
+    def test_run_episodes_wrapper_auto_batches_greedy(self, batch_config):
+        policy = _greedy_for(batch_config)
+        serial = _serial_reference(batch_config, policy, 12, reset_seed=90)
+        wrapped = run_episodes(
+            NavigationEnv(batch_config, rng=3), policy, 12, rng=0, reset_seed=90
+        )
+        assert wrapped == serial
+
+    def test_run_episodes_wrapper_leaves_env_untouched(self, batch_config):
+        policy = _greedy_for(batch_config)
+        env = NavigationEnv(batch_config, rng=3)
+        before = env.position.copy()
+        run_episodes(env, policy, 4, rng=0, reset_seed=5)
+        assert np.array_equal(env.position, before)
+
+
+class TestEpsilonBatchIndependence:
+    @pytest.mark.parametrize("batch_size", [1, 7, 64])
+    def test_exploring_rollouts_independent_of_batch_size(self, batch_config, batch_size):
+        policy = _greedy_for(batch_config)
+        reference_env = BatchedNavigationEnv.from_env(
+            NavigationEnv(batch_config, rng=3), batch_size=1
+        )
+        reference = run_batched_episodes(
+            reference_env, policy, 16, epsilon=0.25, rng=17, reset_seed=40
+        )
+        env = BatchedNavigationEnv.from_env(
+            NavigationEnv(batch_config, rng=3), batch_size=batch_size
+        )
+        assert run_batched_episodes(env, policy, 16, epsilon=0.25, rng=17, reset_seed=40) == reference
+
+    def test_exploration_rng_changes_results(self, batch_config):
+        policy = _greedy_for(batch_config)
+        env = BatchedNavigationEnv.from_env(NavigationEnv(batch_config, rng=3), batch_size=8)
+        a = run_batched_episodes(env, policy, 12, epsilon=0.5, rng=1, reset_seed=40)
+        b = run_batched_episodes(env, policy, 12, epsilon=0.5, rng=2, reset_seed=40)
+        assert a != b
+
+
+class TestBatchedEnvApi:
+    def test_invalid_batch_size_rejected(self, batch_config):
+        with pytest.raises(ConfigurationError):
+            BatchedNavigationEnv(batch_config, batch_size=0)
+
+    def test_step_with_all_lanes_done_rejected(self, batch_config):
+        env = BatchedNavigationEnv(batch_config, batch_size=3)
+        with pytest.raises(EnvironmentError_):
+            env.step(np.zeros(3, dtype=np.int64))
+
+    def test_invalid_action_rejected(self, batch_config):
+        env = BatchedNavigationEnv(batch_config, batch_size=2)
+        env.reset_lanes([0, 1], [0, 1])
+        with pytest.raises(EnvironmentError_):
+            env.step(np.array([0, env.action_space.n]))
+
+    def test_action_shape_validated(self, batch_config):
+        env = BatchedNavigationEnv(batch_config, batch_size=2)
+        env.reset_lanes([0, 1], [0, 1])
+        with pytest.raises(EnvironmentError_):
+            env.step(np.zeros(5, dtype=np.int64))
+
+    def test_seed_count_mismatch_rejected(self, batch_config):
+        env = BatchedNavigationEnv(batch_config, batch_size=2)
+        with pytest.raises(ConfigurationError):
+            env.reset_lanes([0, 1], [0])
+
+    def test_done_mask_freezes_finished_lanes(self, batch_config):
+        env = BatchedNavigationEnv(batch_config, batch_size=2)
+        env.reset_lanes([0], [0])
+        assert list(env.done) == [False, True]
+        # Stepping advances only the active lane; the idle lane stays put.
+        straight = (env.action_space.n // 2)
+        result = env.step(np.full(2, straight, dtype=np.int64))
+        assert bool(result.stepped[0]) and not bool(result.stepped[1])
+        assert result.steps[0] == 1 and result.steps[1] == 0
+
+    def test_observations_match_observation_space(self, batch_config):
+        env = BatchedNavigationEnv(batch_config, batch_size=3)
+        observations = env.reset_lanes([0, 1, 2], [0, 1, 2])
+        assert observations.shape == (3,) + env.observation_space.shape
+        assert all(env.observation_space.contains(row) for row in observations)
+
+    def test_results_returned_in_episode_order(self, batch_config):
+        policy = _greedy_for(batch_config)
+        env = BatchedNavigationEnv.from_env(NavigationEnv(batch_config, rng=3), batch_size=5)
+        results = run_batched_episodes(env, policy, 11, reset_seed=60)
+        assert len(results) == 11
+        assert all(result is not None for result in results)
+
+    def test_zero_episodes(self, batch_config):
+        env = BatchedNavigationEnv(batch_config, batch_size=2)
+        assert run_batched_episodes(env, _greedy_for(batch_config), 0) == []
+
+
+class TestBatchPolicyShim:
+    def test_scalar_policy_is_wrapped(self):
+        calls = []
+
+        def scalar_policy(observation):
+            calls.append(observation.shape)
+            return 3
+
+        batched = as_batch_policy(scalar_policy)
+        actions = batched(np.zeros((4, 6)))
+        assert actions.tolist() == [3, 3, 3, 3]
+        assert calls == [(6,)] * 4
+
+    def test_greedy_policy_is_used_natively(self, batch_config):
+        policy = _greedy_for(batch_config)
+        assert as_batch_policy(policy) == policy.act_batch
+        observations = np.random.default_rng(0).normal(
+            size=(5,) + NavigationEnv(batch_config, rng=3).observation_space.shape
+        )
+        batch_actions = policy.act_batch(observations)
+        assert batch_actions.shape == (5,)
+        assert [policy(row) for row in observations] == batch_actions.tolist()
+
+
+class TestBatchedGeometryPrimitives:
+    @pytest.fixture
+    def field(self) -> ObstacleField:
+        return ObstacleField(
+            world_size=(10.0, 10.0),
+            centers=np.array([[3.0, 5.0], [7.0, 4.0]]),
+            radii=np.array([0.8, 0.6]),
+        )
+
+    def test_ray_distances_many_matches_per_origin(self, field):
+        rng = np.random.default_rng(0)
+        origins = rng.uniform(1.0, 9.0, size=(6, 2))
+        angles = np.linspace(-np.pi, np.pi, 5)
+        batched = field.ray_distances_many(origins, angles, max_range=4.0, step=0.2)
+        for index, origin in enumerate(origins):
+            expected = field.ray_distances(origin, angles, max_range=4.0, step=0.2)
+            assert np.array_equal(batched[index], expected)
+
+    def test_ray_distances_many_per_origin_fans(self, field):
+        origins = np.array([[2.0, 2.0], [8.0, 8.0]])
+        angles = np.array([[0.0, 1.0], [2.0, 3.0]])
+        batched = field.ray_distances_many(origins, angles, max_range=3.0)
+        for index in range(2):
+            expected = field.ray_distances(origins[index], angles[index], max_range=3.0)
+            assert np.array_equal(batched[index], expected)
+
+    def test_ray_distances_many_validation(self, field):
+        with pytest.raises(ConfigurationError):
+            field.ray_distances_many(np.zeros((2, 2)), np.zeros((3, 4)), max_range=3.0)
+        with pytest.raises(ConfigurationError):
+            field.ray_distances_many(np.zeros((1, 2)), np.zeros(3), max_range=0.0)
+
+    def test_segments_collide_matches_per_segment(self, field):
+        rng = np.random.default_rng(1)
+        starts = rng.uniform(0.5, 9.5, size=(12, 2))
+        ends = rng.uniform(0.5, 9.5, size=(12, 2))
+        batched = field.segments_collide(starts, ends, vehicle_radius=0.3)
+        expected = [
+            field.segment_collides(start, end, vehicle_radius=0.3)
+            for start, end in zip(starts, ends)
+        ]
+        assert batched.tolist() == expected

@@ -220,6 +220,45 @@ class TestEvaluation:
         q_values = tiny_network.forward(obs[None])
         assert policy(obs) == int(np.argmax(q_values[0]))
 
+    def test_greedy_policy_act_batch_matches_scalar_protocol(self, tiny_network):
+        policy = greedy_policy(tiny_network)
+        observations = np.random.default_rng(1).normal(size=(8, 6))
+        actions = policy.act_batch(observations)
+        assert actions.shape == (8,)
+        assert policy.is_batch_policy
+        assert [policy(row) for row in observations] == actions.tolist()
+
+    def test_from_results_no_successes_gives_nan_path(self):
+        from repro.envs.vector import EpisodeResult, mean_path_length
+
+        failed = [
+            EpisodeResult(success=False, collision=True, steps=5, path_length_m=2.5, total_reward=-10.0),
+            EpisodeResult(success=False, collision=False, steps=30, path_length_m=14.0, total_reward=-1.5),
+        ]
+        evaluation = PolicyEvaluation.from_results(failed)
+        # Consistent with mean_path_length(successful_only=True): NaN, never a
+        # silent fallback to the failed episodes' path lengths.
+        assert np.isnan(evaluation.mean_path_length_m)
+        assert np.isnan(mean_path_length(failed))
+        assert evaluation.success_rate == 0.0
+        assert evaluation.collision_rate == pytest.approx(0.5)
+
+    def test_from_results_averages_successful_paths_only(self):
+        from repro.envs.vector import EpisodeResult
+
+        mixed = [
+            EpisodeResult(success=True, collision=False, steps=10, path_length_m=8.0, total_reward=9.0),
+            EpisodeResult(success=True, collision=False, steps=12, path_length_m=10.0, total_reward=8.5),
+            EpisodeResult(success=False, collision=True, steps=3, path_length_m=1.0, total_reward=-10.0),
+        ]
+        evaluation = PolicyEvaluation.from_results(mixed)
+        assert evaluation.mean_path_length_m == pytest.approx(9.0)
+        assert evaluation.num_episodes == 3
+
+    def test_from_results_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PolicyEvaluation.from_results([])
+
     def test_evaluate_policy_summary(self, small_env, tiny_network):
         # tiny_network has the wrong observation size for small_env; build a matching one.
         from repro.nn.policies import build_policy

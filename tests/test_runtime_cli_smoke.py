@@ -1,0 +1,69 @@
+"""CI smoke: a sharded ``generalization-rollouts`` slice through the real CLI.
+
+This is the end-to-end path a user takes — argument parsing, sweep lookup,
+the engine with cache + journal, shard bookkeeping — exercised on a 4-job
+slice of the measured-rollout sweep (48 jobs / 12 shards), small enough for
+every CI run.
+"""
+
+import json
+
+import pytest
+
+from repro.runtime.cli import main
+from repro.runtime.journal import Journal
+from repro.runtime.registry import get_registered_sweep
+
+
+class TestGeneralizationRolloutsCliSmoke:
+    def test_four_job_slice_runs_through_the_cli(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "run",
+                "generalization-rollouts",
+                "--shard",
+                "0/12",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--journal-dir",
+                str(tmp_path / "journals"),
+                "--format",
+                "none",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "4/48 jobs" in output
+
+        # The slice is journaled under the sweep's identity, so the remaining
+        # shards (or a full re-run) resume from these four results.
+        sweep = get_registered_sweep("generalization-rollouts").spec()
+        journal = Journal.for_sweep(sweep, tmp_path / "journals")
+        status = journal.status(sweep)
+        assert status.completed == 4
+
+    def test_status_command_reports_journaled_slice(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "generalization-rollouts",
+                    "--shard",
+                    "1/12",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--journal-dir",
+                    str(tmp_path / "journals"),
+                    "--format",
+                    "none",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["status", "generalization-rollouts", "--journal-dir", str(tmp_path / "journals")])
+            == 0
+        )
+        assert "4/48" in capsys.readouterr().out

@@ -186,3 +186,46 @@ class TestRolloutJob:
         assert result["num_episodes"] == 2
         assert 0.0 <= result["success_rate_pct"] <= 100.0
         assert result["mean_steps"] > 0
+
+
+class TestGeneralizedRolloutJob:
+    @staticmethod
+    def _tiny_sweep():
+        from repro.experiments.generalization import generalization_rollout_sweep_spec
+
+        return generalization_rollout_sweep_spec(
+            presets=(("uniform", {"density": "sparse"}),),
+            seeds=(0,),
+            ber_levels=(0.0, 1.0),
+            num_episodes=3,
+            training_episodes=6,
+            num_fault_maps=2,
+        )
+
+    def test_generalized_rollout_job_is_deterministic(self):
+        spec = self._tiny_sweep().jobs[0]
+        assert run_job(spec) == run_job(spec)
+
+    def test_generalized_rollout_result_shape(self):
+        results = [run_job(job) for job in self._tiny_sweep().jobs]
+        for result in results:
+            assert result["family"] == "uniform"
+            assert 0.0 <= result["success_pct"] <= 100.0
+            assert result["platform"] == "crazyflie"
+            assert result["num_episodes"] == 3
+        assert {row["ber_percent"] for row in results} == {0.0, 1.0}
+
+    def test_generalized_rollout_assembler_groups_by_family_and_ber(self):
+        from repro.experiments.generalization import assemble_generalization_rollouts
+
+        sweep = self._tiny_sweep()
+        table = assemble_generalization_rollouts(sweep, [run_job(job) for job in sweep.jobs])
+        rows = {(row["family"], row["ber_percent"]): row for row in table.rows}
+        assert set(rows) == {("uniform", 0.0), ("uniform", 1.0)}
+        assert rows[("uniform", 0.0)]["num_worlds"] == 1
+
+    def test_generalization_rollouts_sweep_registered(self):
+        from repro.runtime.registry import get_registered_sweep
+
+        entry = get_registered_sweep("generalization-rollouts")
+        assert len(entry.spec()) == 48
