@@ -7,12 +7,17 @@ accelerator: the policy parameters are quantized to 8 bits and corrupted by
 persistent fault maps at several bit-error rates.  The printed table is the
 reduced-scale analogue of the paper's Table I.
 
+Experience collection runs on ``TRAIN_LANES`` lockstep environment lanes
+(the batched training core of :mod:`repro.rl.collect`); set it to 1 to
+replay the serial trainer bitwise.
+
 Run with (takes roughly half a minute)::
 
     python examples/offline_navigation.py
 """
 
 import time
+from dataclasses import replace
 
 from repro.envs.navigation import NavigationEnv
 from repro.experiments.profiles import FAST_PROFILE
@@ -23,23 +28,30 @@ from repro.utils.tables import Table, format_aligned
 
 EVAL_BER_PERCENT = (0.3, 1.0, 3.0)
 
+#: Lockstep experience-collection lanes for both training runs.
+TRAIN_LANES = 4
+
 
 def main() -> None:
     profile = FAST_PROFILE
+    dqn_config = replace(profile.dqn, train_lanes=TRAIN_LANES)
     env_rng, classical_rng, berry_rng = spawn_generators(0, 3)
     env = NavigationEnv(profile.navigation, rng=env_rng)
     print(f"environment: {env!r}")
 
     start = time.time()
-    print(f"training classical DQN for {profile.training_episodes} episodes ...")
+    print(
+        f"training classical DQN for {profile.training_episodes} episodes "
+        f"({TRAIN_LANES} lockstep lanes) ..."
+    )
     classical = train_classical(
         env, profile.training_episodes, policy_spec=profile.policy_spec,
-        config=profile.dqn, rng=classical_rng,
+        config=dqn_config, rng=classical_rng,
     )
     print(f"training BERRY (p = 1 % injection) for {profile.training_episodes} episodes ...")
     berry = train_offline_berry(
         env, profile.training_episodes, ber_percent=1.0, policy_spec=profile.policy_spec,
-        config=profile.dqn, rng=berry_rng,
+        config=dqn_config, rng=berry_rng,
     )
     print(f"training finished in {time.time() - start:.1f} s")
 

@@ -91,7 +91,16 @@ class BerryConfig:
 
 
 class BerryTrainer(DqnTrainer):
-    """Bit-error robust DQN trainer (Algorithm 1)."""
+    """Bit-error robust DQN trainer (Algorithm 1).
+
+    BERRY only overrides the *learning* half of the loop
+    (:meth:`accumulate_gradients` / :meth:`learn_on_batch`); experience
+    collection is inherited, so the lockstep batched collector of
+    :meth:`~repro.rl.dqn.DqnTrainer.train` composes unchanged — the perturbed
+    pass fires once per gradient step on the global-counter cadence whatever
+    ``config.train_lanes`` is, and ``train_lanes=1`` reproduces the serial
+    BERRY trainer bitwise (fault-map stream included).
+    """
 
     def __init__(
         self,

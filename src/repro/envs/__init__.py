@@ -28,6 +28,7 @@ from repro.envs.vector import (
 from repro.envs.batch import (
     BatchedNavigationEnv,
     BatchStepResult,
+    LaneEpisodeFeed,
     run_batched_episodes,
 )
 
@@ -50,5 +51,6 @@ __all__ = [
     "run_episodes",
     "BatchedNavigationEnv",
     "BatchStepResult",
+    "LaneEpisodeFeed",
     "run_batched_episodes",
 ]

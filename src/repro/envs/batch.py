@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -91,9 +91,17 @@ class BatchedNavigationEnv:
         batch_size: int = DEFAULT_BATCH_SIZE,
         rng: SeedLike = 0,
         template: Optional[NavigationEnv] = None,
+        share_rng: bool = False,
     ) -> None:
         if batch_size <= 0:
             raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        if share_rng and batch_size != 1:
+            raise ConfigurationError(
+                "share_rng shares the template's single RNG stream and is only "
+                f"meaningful for batch_size=1, got batch_size={batch_size}"
+            )
+        if share_rng and template is None:
+            raise ConfigurationError("share_rng requires a template environment")
         if template is None:
             template = NavigationEnv(config, rng=rng)
         self.config = template.config
@@ -133,7 +141,14 @@ class BatchedNavigationEnv:
         self._scales = np.full(
             B, float(np.linalg.norm(np.asarray(template.world_size))), dtype=np.float64
         )
-        self._rngs: List[np.random.Generator] = spawn_generators(template._rng, B)
+        # share_rng hands lane 0 the template's very Generator object: draws
+        # through this batch continue the serial environment's stream, which is
+        # what makes B=1 batched *training* consume RNG exactly like the serial
+        # trainer (see repro.rl.collect).  The default spawns independent
+        # per-lane streams.
+        self._rngs: List[np.random.Generator] = (
+            [template._rng] if share_rng else spawn_generators(template._rng, B)
+        )
         # Per-lane episode state (lanes start finished; reset_lanes activates them).
         self._positions = self._starts.copy()
         self._headings = np.zeros(B, dtype=np.float64)
@@ -143,9 +158,19 @@ class BatchedNavigationEnv:
         self._done = np.ones(B, dtype=bool)
 
     @classmethod
-    def from_env(cls, env: NavigationEnv, batch_size: int = DEFAULT_BATCH_SIZE) -> "BatchedNavigationEnv":
-        """Batch B lanes over an existing serial environment's current world."""
-        return cls(env.config, batch_size=batch_size, template=env)
+    def from_env(
+        cls,
+        env: NavigationEnv,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        share_rng: bool = False,
+    ) -> "BatchedNavigationEnv":
+        """Batch B lanes over an existing serial environment's current world.
+
+        ``share_rng`` (``batch_size=1`` only) makes the single lane consume
+        ``env``'s own RNG stream instead of a spawned child — the hook that
+        lets B=1 batched training replay the serial trainer bitwise.
+        """
+        return cls(env.config, batch_size=batch_size, template=env, share_rng=share_rng)
 
     # ------------------------------------------------------------------ introspection
     @property
@@ -225,6 +250,21 @@ class BatchedNavigationEnv:
         self._path_lengths[lane_array] = 0.0
         self._done[lane_array] = False
         return self._observe_lanes(lane_array)
+
+    def retire_lanes(self, lanes: Sequence[int]) -> None:
+        """Mark ``lanes`` finished without stepping them.
+
+        Training caps episodes shorter than ``config.max_steps`` (the serial
+        trainer's ``max_steps_per_episode``); a lane whose episode hit that cap
+        mid-flight must stop being advanced by :meth:`step` even though the
+        environment itself never terminated it.
+        """
+        for lane in lanes:
+            if not 0 <= int(lane) < self.batch_size:
+                raise ConfigurationError(
+                    f"lane {int(lane)} outside batch of {self.batch_size}"
+                )
+        self._done[np.asarray([int(lane) for lane in lanes], dtype=np.int64)] = True
 
     def _sample_start_positions(self, lanes: np.ndarray) -> np.ndarray:
         """Start positions for ``lanes``: fixed starts plus optional noise.
@@ -453,6 +493,119 @@ class BatchedNavigationEnv:
         return (angles + math.pi) % (2.0 * math.pi) - math.pi
 
 
+class LaneEpisodeFeed:
+    """Streams a fixed pool of episodes through a batch's lanes.
+
+    The feed owns the lane -> episode assignment of lockstep execution:
+    :meth:`prime` starts the first ``min(B, num_episodes)`` episodes, and
+    :meth:`refill` immediately restarts a finished lane on the next pending
+    episode so every step stays a full-width batch until the pool drains.
+    ``seed_for`` supplies the per-episode reset seed (evaluation rollouts);
+    when omitted, each reset continues the lane's own RNG stream exactly like
+    ``NavigationEnv.reset()`` without a seed — the training semantics.
+
+    This is the auto-reset machinery shared by evaluation
+    (:func:`run_batched_episodes`, where lanes drain at the tail) and the
+    training collector (:class:`~repro.rl.collect.LockstepCollector`, where
+    lanes keep collecting past episode ends until the budget is spent).
+    """
+
+    def __init__(
+        self,
+        env: BatchedNavigationEnv,
+        num_episodes: int,
+        seed_for: Optional[Callable[[int], Optional[int]]] = None,
+    ) -> None:
+        if num_episodes < 0:
+            raise ConfigurationError(
+                f"num_episodes must be non-negative, got {num_episodes}"
+            )
+        self.env = env
+        self.num_episodes = int(num_episodes)
+        self._seed_for = seed_for
+        #: Episode index currently running on each lane; -1 marks an idle lane.
+        self.lane_episode = np.full(env.batch_size, -1, dtype=np.int64)
+        self._next_episode = 0
+
+    @property
+    def active_lanes(self) -> np.ndarray:
+        """Lanes currently running an episode, in ascending lane order."""
+        return np.nonzero(self.lane_episode >= 0)[0]
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every episode has finished (no active lanes, none pending)."""
+        return self._next_episode >= self.num_episodes and not (self.lane_episode >= 0).any()
+
+    def _seed(self, episode: int) -> Optional[int]:
+        return None if self._seed_for is None else self._seed_for(episode)
+
+    def prime(self) -> np.ndarray:
+        """Start the first episodes; returns the full (B, ...) observation array."""
+        observations = np.zeros(
+            (self.env.batch_size,) + self.env.observation_space.shape
+        )
+        fill = list(range(min(self.env.batch_size, self.num_episodes)))
+        if fill:
+            observations[fill] = self.env.reset_lanes(
+                fill, [self._seed(episode) for episode in fill]
+            )
+        self.lane_episode[fill] = fill
+        self._next_episode = len(fill)
+        return observations
+
+    def refill(self, lane: int) -> Optional[np.ndarray]:
+        """Restart ``lane`` on the next pending episode.
+
+        Returns the new episode's first observation, or ``None`` when the pool
+        is exhausted — the lane is then idled *and* retired in the environment,
+        so subsequent steps no longer advance it (a capped episode may have
+        left the env lane mid-flight).
+        """
+        lane = int(lane)
+        if self._next_episode < self.num_episodes:
+            episode = self._next_episode
+            self._next_episode += 1
+            observation = self.env.reset_lanes([lane], [self._seed(episode)])[0]
+            self.lane_episode[lane] = episode
+            return observation
+        self.lane_episode[lane] = -1
+        self.env.retire_lanes([lane])
+        return None
+
+    def refill_many(self, lanes: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Refill several finished lanes through one batched reset.
+
+        Semantically ``[refill(lane) for lane in lanes]`` — same episode
+        assignment order, same per-lane RNG draws — but all restarted lanes
+        share a single :meth:`BatchedNavigationEnv.reset_lanes` call, so their
+        start-position rejection rounds and first observations are one batched
+        query instead of one per episode.  Returns ``(refilled_lanes,
+        observations)`` for the lanes that received a new episode; the rest
+        are idled and retired.
+        """
+        assigned: List[Tuple[int, int]] = []
+        exhausted: List[int] = []
+        for lane in lanes:
+            if self._next_episode < self.num_episodes:
+                assigned.append((int(lane), self._next_episode))
+                self._next_episode += 1
+            else:
+                exhausted.append(int(lane))
+        if exhausted:
+            self.lane_episode[exhausted] = -1
+            self.env.retire_lanes(exhausted)
+        refilled = np.asarray([lane for lane, _ in assigned], dtype=np.int64)
+        if not assigned:
+            return refilled, np.zeros((0,) + self.env.observation_space.shape)
+        observations = self.env.reset_lanes(
+            [lane for lane, _ in assigned],
+            [self._seed(episode) for _, episode in assigned],
+        )
+        self.lane_episode[refilled] = [episode for _, episode in assigned]
+        return refilled, observations
+
+
 def run_batched_episodes(
     env: BatchedNavigationEnv,
     policy,
@@ -493,17 +646,12 @@ def run_batched_episodes(
         return int(episode_rngs[episode].integers(0, 2**31 - 1))
 
     results: List[Optional[EpisodeResult]] = [None] * num_episodes
-    lane_episode = np.full(B, -1, dtype=np.int64)
+    feed = LaneEpisodeFeed(env, num_episodes, seed_for=seed_for)
     reward_totals = np.zeros(B, dtype=np.float64)
-    observations = np.zeros((B,) + env.observation_space.shape)
-
-    fill = list(range(min(B, num_episodes)))
-    observations[fill] = env.reset_lanes(fill, [seed_for(e) for e in fill])
-    lane_episode[fill] = fill
-    next_episode = len(fill)
+    observations = feed.prime()
 
     while True:
-        active = np.nonzero(lane_episode >= 0)[0]
+        active = feed.active_lanes
         if active.size == 0:
             break
         actions = np.zeros(B, dtype=np.int64)
@@ -515,7 +663,7 @@ def run_batched_episodes(
         actions[active] = chosen
         if epsilon > 0.0:
             for lane in active:
-                generator = episode_rngs[lane_episode[lane]]
+                generator = episode_rngs[feed.lane_episode[lane]]
                 if generator.random() < epsilon:
                     actions[lane] = env.action_space.sample(generator)
         result = env.step(actions)
@@ -523,7 +671,7 @@ def run_batched_episodes(
         observations[active] = result.observations[active]
         finished = active[result.done[active]]
         for lane in finished:
-            episode = int(lane_episode[lane])
+            episode = int(feed.lane_episode[lane])
             results[episode] = EpisodeResult(
                 success=bool(result.success[lane]),
                 collision=bool(result.collision[lane]),
@@ -531,12 +679,12 @@ def run_batched_episodes(
                 path_length_m=float(result.path_lengths_m[lane]),
                 total_reward=float(reward_totals[lane]),
             )
-            if next_episode < num_episodes:
-                refill = next_episode
-                next_episode += 1
-                observations[lane] = env.reset_lanes([int(lane)], [seed_for(refill)])[0]
-                lane_episode[lane] = refill
-                reward_totals[lane] = 0.0
-            else:
-                lane_episode[lane] = -1
+        if finished.size:
+            # One batched reset per lockstep step: every refilled lane is
+            # reseeded per episode, so the batched rejection rounds replay the
+            # per-lane draws of one-at-a-time refills exactly.
+            refilled, refill_obs = feed.refill_many(finished)
+            if refilled.size:
+                observations[refilled] = refill_obs
+                reward_totals[refilled] = 0.0
     return results  # type: ignore[return-value]

@@ -166,12 +166,13 @@ def generalization_rollout_sweep_spec(
     presets: Sequence[Tuple[str, Mapping[str, Any]]] = FAMILY_PRESETS,
     seeds: Sequence[int] = ROLLOUT_WORLD_SEEDS,
     ber_levels: Sequence[float] = ROLLOUT_BER_LEVELS,
-    num_episodes: int = 8,
-    training_episodes: int = 60,
+    num_episodes: int = 16,
+    training_episodes: int = 120,
     hidden_units: Sequence[int] = (32, 32),
     policy_seed: int = 0,
     num_fault_maps: int = 4,
     platform: str = "crazyflie",
+    train_lanes: int = 8,
 ) -> SweepSpec:
     """*Measured* policy success across generated world families.
 
@@ -182,6 +183,13 @@ def generalization_rollout_sweep_spec(
     reports measured success plus the quality-of-flight that follows from
     the measured path lengths.  48 jobs at the defaults
     (12 family presets x 2 world seeds x 2 BER levels).
+
+    Training collects experience on ``train_lanes`` lockstep environment
+    lanes (`repro.rl.collect`), which is what affords the doubled episode
+    budget (120 training / 16 evaluation episodes, up from the serial-era
+    60 / 8) at comparable wall-clock.  ``train_lanes`` is part of the job
+    params — and therefore of the spec hash — because the lane count
+    determines the exploration stream layout and hence the trained weights.
     """
     jobs = tuple(
         JobSpec(
@@ -195,6 +203,7 @@ def generalization_rollout_sweep_spec(
                 "policy_seed": int(policy_seed),
                 "num_fault_maps": int(num_fault_maps),
                 "platform": str(platform),
+                "train_lanes": int(train_lanes),
             },
         )
         for family, params in presets
@@ -214,7 +223,8 @@ def _run_rollout_generalized(spec: JobSpec, context: ExecutionContext) -> Dict[s
 
     Everything — the world, the policy initialisation, training exploration,
     fault maps and evaluation episodes — derives from the job spec, so any
-    worker reproduces the identical measured numbers.  Rollouts run on the
+    worker reproduces the identical measured numbers.  Training collects
+    experience on ``train_lanes`` lockstep lanes and rollouts run on the
     batched core (`~repro.envs.batch.BatchedNavigationEnv`); the measured
     per-episode path lengths then advance through the vectorized UAV flight
     chain in one `~repro.uav.flight.FlightModel.fly_missions` call.
@@ -256,6 +266,8 @@ def _run_rollout_generalized(spec: JobSpec, context: ExecutionContext) -> Dict[s
             train_frequency=2,
             target_update_interval=150,
             epsilon_schedule=LinearDecay(start=1.0, end=0.08, decay_steps=1200),
+            # Older cached specs predate batched collection: default serial.
+            train_lanes=int(params.get("train_lanes", 1)),
         ),
         rng=int(params["policy_seed"]) + spec.seed,
     )
@@ -308,6 +320,7 @@ def _run_rollout_generalized(spec: JobSpec, context: ExecutionContext) -> Dict[s
         "ber_percent": ber_percent,
         "num_episodes": num_episodes,
         "training_episodes": int(params["training_episodes"]),
+        "train_lanes": int(params.get("train_lanes", 1)),
         "success_pct": 100.0 * success,
         "collision_pct": None if collision_rate is None else 100.0 * collision_rate,
         "mean_steps": mean_steps,

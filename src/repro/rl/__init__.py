@@ -4,11 +4,14 @@ The paper's autonomy policies are Deep Q-Networks trained with experience
 replay and a periodically synchronised target network (Sec. II-A and
 Algorithm 1 lines 2-13).  :class:`~repro.rl.dqn.DqnTrainer` implements that
 classical baseline; the BERRY error-aware trainer in :mod:`repro.core.berry`
-extends it with the perturbed gradient pass.
+extends it with the perturbed gradient pass.  Experience collection runs on
+``config.train_lanes`` lockstep batched environment lanes
+(:mod:`repro.rl.collect`); one lane reproduces the serial loop bitwise.
 """
 
 from repro.rl.replay_buffer import ReplayBuffer, Transition
 from repro.rl.schedules import ConstantSchedule, ExponentialDecay, LinearDecay
+from repro.rl.collect import EpisodeRecord, LockstepCollector, StepBatch
 from repro.rl.dqn import DqnConfig, DqnTrainer, TrainingHistory
 from repro.rl.evaluation import (
     GreedyPolicy,
@@ -29,6 +32,9 @@ __all__ = [
     "DqnConfig",
     "DqnTrainer",
     "TrainingHistory",
+    "EpisodeRecord",
+    "LockstepCollector",
+    "StepBatch",
     "GreedyPolicy",
     "PolicyEvaluation",
     "RobustnessPoint",

@@ -8,6 +8,16 @@ replay buffer, and exploration follows an epsilon-greedy schedule.
 The gradient computation is factored into :meth:`DqnTrainer.accumulate_gradients`
 so that the BERRY trainer (:mod:`repro.core.berry`) can extend it with the
 bit-error-perturbed pass of Algorithm 1 without duplicating the training loop.
+
+Experience collection is *batched*: :meth:`DqnTrainer.train` drives
+``config.train_lanes`` lockstep environment lanes through a
+:class:`~repro.rl.collect.LockstepCollector`, pushes each lockstep step's
+transitions into the replay buffer with one vectorised ``add_batch``, and
+replays the gradient/target-sync cadence on the global transition counter.
+``train_lanes=1`` (the default) reproduces the pre-refactor scalar loop
+bitwise — same RNG stream consumption, same replay contents, same final
+weights; the scalar loop itself survives as :meth:`DqnTrainer.train_serial`,
+the reference implementation the equivalence tests pin against.
 """
 
 from __future__ import annotations
@@ -26,7 +36,7 @@ from repro.nn.policies import PolicySpec, build_policy, mlp
 from repro.rl.replay_buffer import ReplayBuffer, Transition
 from repro.rl.schedules import LinearDecay, Schedule
 from repro.utils.logging import get_logger
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
 
 logger = get_logger("rl.dqn")
 
@@ -46,6 +56,10 @@ class DqnConfig:
     loss: str = "huber"
     grad_clip: Optional[float] = 1.0
     epsilon_schedule: Schedule = field(default_factory=LinearDecay)
+    #: Lockstep environment lanes used for experience collection.  1 replays
+    #: the serial trainer bitwise; B > 1 collects B transitions per lockstep
+    #: step (per-lane exploration streams, one batched Q forward per step).
+    train_lanes: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.gamma < 1.0:
@@ -58,6 +72,8 @@ class DqnConfig:
             raise TrainingError("target_update_interval must be positive")
         if self.loss not in ("huber", "mse"):
             raise TrainingError(f"loss must be 'huber' or 'mse', got {self.loss!r}")
+        if self.train_lanes <= 0:
+            raise TrainingError(f"train_lanes must be positive, got {self.train_lanes}")
 
 
 @dataclass
@@ -75,15 +91,29 @@ class TrainingHistory:
     def num_episodes(self) -> int:
         return len(self.episode_rewards)
 
+    @staticmethod
+    def _recent(values: List, window: Optional[int]) -> List:
+        """The last ``window`` entries (all of them when ``window`` is None).
+
+        ``window`` must be a positive count: a falsy 0 used to silently mean
+        "all episodes", which is indistinguishable from the caller asking for
+        an empty window.
+        """
+        if window is None:
+            return values
+        if window <= 0:
+            raise TrainingError(f"window must be a positive episode count, got {window}")
+        return values[-window:]
+
     def success_rate(self, window: Optional[int] = None) -> float:
         """Fraction of successful episodes, optionally over the last ``window`` episodes."""
-        successes = self.episode_successes[-window:] if window else self.episode_successes
+        successes = self._recent(self.episode_successes, window)
         if not successes:
             return 0.0
         return sum(successes) / len(successes)
 
     def mean_reward(self, window: Optional[int] = None) -> float:
-        rewards = self.episode_rewards[-window:] if window else self.episode_rewards
+        rewards = self._recent(self.episode_rewards, window)
         if not rewards:
             return 0.0
         return float(np.mean(rewards))
@@ -177,7 +207,99 @@ class DqnTrainer:
         max_steps_per_episode: Optional[int] = None,
         callback: Optional[Callable[[int, TrainingHistory], None]] = None,
     ) -> TrainingHistory:
-        """Run the full training loop for ``num_episodes`` episodes."""
+        """Run the training loop for ``num_episodes`` episodes on lockstep lanes.
+
+        Experience collection runs ``config.train_lanes`` batched environment
+        lanes (capped at ``num_episodes``): one batched Q forward per lockstep
+        step, per-lane exploration streams, one ``add_batch`` replay push, and
+        the gradient/target-sync cadence interleaved on the global transition
+        counter exactly as the serial loop would.  ``train_lanes=1`` shares
+        the serial environment's and trainer's RNG streams and reproduces
+        :meth:`train_serial` bitwise.  ``callback(episode, history)`` fires
+        once per completed episode, in completion order (== episode order at
+        B = 1).
+        """
+        from repro.envs.batch import BatchedNavigationEnv
+        from repro.rl.collect import LockstepCollector
+
+        if num_episodes <= 0:
+            raise TrainingError(f"num_episodes must be positive, got {num_episodes}")
+        lanes = min(self.config.train_lanes, num_episodes)
+        batch_env = BatchedNavigationEnv.from_env(
+            self.env, batch_size=lanes, share_rng=lanes == 1
+        )
+        exploration = (
+            [self._rng] if lanes == 1 else spawn_generators(self._rng, lanes)
+        )
+        collector = LockstepCollector(
+            batch_env,
+            self.q_network,
+            self.config.epsilon_schedule,
+            exploration,
+            num_episodes,
+            max_steps_per_episode,
+        )
+        while collector.collecting:
+            step_batch = collector.collect(self.history.total_steps)
+            self._absorb_step_batch(step_batch, callback)
+        return self.history
+
+    def _absorb_step_batch(self, step_batch, callback) -> None:
+        """Store one lockstep step's transitions and replay the learning cadence.
+
+        The k transitions are pushed in one vectorised insert, then the
+        gradient / target-sync checks run once per global counter value
+        crossed — with the replay size the serial loop would have seen at that
+        counter — so B = 1 matches the scalar loop decision-for-decision and
+        B > 1 keeps the same updates-per-transition budget.
+        """
+        adds_before = len(self.replay)
+        self.replay.add_batch(
+            step_batch.observations,
+            step_batch.actions,
+            step_batch.rewards,
+            step_batch.next_observations,
+            step_batch.dones,
+        )
+        start = self.history.total_steps
+        count = step_batch.num_transitions
+        self.history.total_steps += count
+        threshold = max(self.config.learning_starts, self.config.batch_size)
+        for offset in range(1, count + 1):
+            step = start + offset
+            stored = min(adds_before + offset, self.replay.capacity)
+            if stored >= threshold and step % self.config.train_frequency == 0:
+                batch = self.replay.sample(self.config.batch_size, self._rng)
+                self.history.losses.append(self.learn_on_batch(batch))
+            if step % self.config.target_update_interval == 0:
+                self.sync_target_network()
+        for record in step_batch.finished:
+            self.history.episode_rewards.append(record.total_reward)
+            self.history.episode_successes.append(record.success)
+            self.history.episode_lengths.append(record.steps)
+            if callback is not None:
+                callback(record.episode, self.history)
+            if (record.episode + 1) % 50 == 0:
+                logger.info(
+                    "episode %d: reward=%.2f success_rate(last 50)=%.2f",
+                    record.episode + 1,
+                    record.total_reward,
+                    self.history.success_rate(window=50),
+                )
+
+    def train_serial(
+        self,
+        num_episodes: int,
+        max_steps_per_episode: Optional[int] = None,
+        callback: Optional[Callable[[int, TrainingHistory], None]] = None,
+    ) -> TrainingHistory:
+        """The pre-refactor scalar training loop, kept as the reference.
+
+        One environment, one observation, one transition at a time.  This is
+        the loop :meth:`train` at ``train_lanes=1`` must reproduce bitwise
+        (same RNG stream consumption, same replay contents, same final
+        weights); ``tests/test_rl_batched_training.py`` pins the equivalence.
+        """
         if num_episodes <= 0:
             raise TrainingError(f"num_episodes must be positive, got {num_episodes}")
         max_steps = max_steps_per_episode or self.env.config.max_steps

@@ -83,6 +83,69 @@ class ReplayBuffer:
         self._cursor = (self._cursor + 1) % self.capacity
         self._size = min(self._size + 1, self.capacity)
 
+    def add_batch(
+        self,
+        observations: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_observations: np.ndarray,
+        dones: np.ndarray,
+    ) -> None:
+        """Append N transitions at once — a vectorised ring insert.
+
+        Equivalent to N scalar :meth:`add` calls (identical final contents,
+        cursor and size, including when the batch overflows the capacity), but
+        executed as at most two array slice assignments per field: one up to
+        the end of the ring and one wrapped around to its start.
+        """
+        observations = np.asarray(observations, dtype=np.float64)
+        next_observations = np.asarray(next_observations, dtype=np.float64)
+        actions = np.asarray(actions, dtype=np.int64).reshape(-1)
+        rewards = np.asarray(rewards, dtype=np.float64).reshape(-1)
+        dones = np.asarray(dones, dtype=np.float64).reshape(-1)
+        count = actions.shape[0]
+        expected = (count,) + self.observation_shape
+        if observations.shape != expected or next_observations.shape != expected:
+            raise ConfigurationError(
+                f"batch observation shape {observations.shape} does not match "
+                f"{expected} for {count} transitions"
+            )
+        if rewards.shape[0] != count or dones.shape[0] != count:
+            raise ConfigurationError(
+                f"got {rewards.shape[0]} rewards and {dones.shape[0]} dones "
+                f"for {count} actions"
+            )
+        if count == 0:
+            return
+        if count > self.capacity:
+            # Only the last `capacity` transitions survive a scalar loop; the
+            # skipped prefix still advances the cursor.
+            skip = count - self.capacity
+            observations = observations[skip:]
+            next_observations = next_observations[skip:]
+            actions = actions[skip:]
+            rewards = rewards[skip:]
+            dones = dones[skip:]
+            self._cursor = (self._cursor + skip) % self.capacity
+            count = self.capacity
+        start = self._cursor
+        first = min(count, self.capacity - start)
+        head = slice(start, start + first)
+        self._observations[head] = observations[:first]
+        self._next_observations[head] = next_observations[:first]
+        self._actions[head] = actions[:first]
+        self._rewards[head] = rewards[:first]
+        self._dones[head] = dones[:first]
+        wrapped = count - first
+        if wrapped:
+            self._observations[:wrapped] = observations[first:]
+            self._next_observations[:wrapped] = next_observations[first:]
+            self._actions[:wrapped] = actions[first:]
+            self._rewards[:wrapped] = rewards[first:]
+            self._dones[:wrapped] = dones[first:]
+        self._cursor = (start + count) % self.capacity
+        self._size = min(self._size + count, self.capacity)
+
     def sample(self, batch_size: int, rng: SeedLike = None) -> Transition:
         """Sample a uniform mini-batch (with replacement across calls, without within a call)."""
         if batch_size <= 0:

@@ -5,11 +5,19 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
 class Schedule:
-    """Maps a global step index to a value (exploration rate)."""
+    """Maps a global step index to a value (exploration rate).
+
+    Schedules are always indexed by the *global transition count*: a B-lane
+    lockstep training step assigns indices ``t, t+1, ..., t+B-1`` to its B
+    simultaneous transitions, so a batched run and a serial run see the same
+    exploration rate at the same ``total_steps`` (see :meth:`values`).
+    """
 
     def value(self, step: int) -> float:
         raise NotImplementedError
@@ -18,6 +26,18 @@ class Schedule:
         if step < 0:
             raise ConfigurationError(f"step must be non-negative, got {step}")
         return self.value(step)
+
+    def values(self, steps: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation at an array of global step indices.
+
+        Elementwise-identical to calling the schedule per step (subclasses
+        overriding this keep that contract — it is what makes batched
+        exploration reproduce the serial schedule exactly).
+        """
+        steps = np.asarray(steps, dtype=np.int64)
+        if steps.size and int(steps.min()) < 0:
+            raise ConfigurationError("steps must be non-negative")
+        return np.asarray([self.value(int(step)) for step in steps], dtype=np.float64)
 
 
 @dataclass(frozen=True)
@@ -51,6 +71,13 @@ class LinearDecay(Schedule):
 
     def value(self, step: int) -> float:
         fraction = min(1.0, step / self.decay_steps)
+        return self.start + fraction * (self.end - self.start)
+
+    def values(self, steps: np.ndarray) -> np.ndarray:
+        steps = np.asarray(steps, dtype=np.int64)
+        if steps.size and int(steps.min()) < 0:
+            raise ConfigurationError("steps must be non-negative")
+        fraction = np.minimum(1.0, steps / self.decay_steps)
         return self.start + fraction * (self.end - self.start)
 
 

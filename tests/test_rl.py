@@ -73,6 +73,87 @@ class TestReplayBuffer:
         sample.observations[0, 0] = 99.0
         assert buffer.sample(1, rng=0).observations[0, 0] == 0.0
 
+    @staticmethod
+    def _batch_of(indices):
+        """Distinguishable transitions for ring-content comparisons."""
+        indices = np.asarray(indices, dtype=np.float64)
+        return (
+            np.stack([indices, indices + 0.5], axis=1),
+            indices.astype(np.int64) % 7,
+            indices * 0.25,
+            np.stack([indices + 1.0, indices + 1.5], axis=1),
+            (indices.astype(np.int64) % 3 == 0).astype(np.float64),
+        )
+
+    @staticmethod
+    def _assert_buffers_identical(a: ReplayBuffer, b: ReplayBuffer):
+        assert len(a) == len(b)
+        assert a._cursor == b._cursor
+        assert np.array_equal(a._observations, b._observations)
+        assert np.array_equal(a._next_observations, b._next_observations)
+        assert np.array_equal(a._actions, b._actions)
+        assert np.array_equal(a._rewards, b._rewards)
+        assert np.array_equal(a._dones, b._dones)
+
+    def test_add_batch_wraps_cursor_in_two_slices(self):
+        batched = ReplayBuffer(capacity=5, observation_shape=(2,))
+        scalar = ReplayBuffer(capacity=5, observation_shape=(2,))
+        first = self._batch_of(range(3))
+        tail = self._batch_of(range(3, 7))  # wraps: rows 3,4 then 5,6 at the front
+        for chunk in (first, tail):
+            batched.add_batch(*chunk)
+            for row in zip(*chunk):
+                scalar.add(row[0], int(row[1]), float(row[2]), row[3], bool(row[4]))
+        assert batched.is_full
+        self._assert_buffers_identical(batched, scalar)
+
+    def test_add_batch_larger_than_capacity_keeps_last_transitions(self):
+        batched = ReplayBuffer(capacity=4, observation_shape=(2,))
+        scalar = ReplayBuffer(capacity=4, observation_shape=(2,))
+        chunk = self._batch_of(range(11))
+        batched.add_batch(*chunk)
+        for row in zip(*chunk):
+            scalar.add(row[0], int(row[1]), float(row[2]), row[3], bool(row[4]))
+        self._assert_buffers_identical(batched, scalar)
+
+    def test_add_batch_empty_is_a_no_op(self):
+        buffer = ReplayBuffer(capacity=4, observation_shape=(2,))
+        buffer.add_batch(*self._batch_of([]))
+        assert len(buffer) == 0
+
+    def test_add_batch_shape_validation(self):
+        buffer = ReplayBuffer(capacity=4, observation_shape=(2,))
+        with pytest.raises(ConfigurationError):
+            buffer.add_batch(np.zeros((2, 3)), np.zeros(2), np.zeros(2), np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ConfigurationError):
+            buffer.add_batch(np.zeros((2, 2)), np.zeros(2), np.zeros(3), np.zeros((2, 2)), np.zeros(2))
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=12),
+        chunks=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=1, max_value=17)),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_add_and_add_batch_match_scalar_loop(self, capacity, chunks):
+        """Property: any interleaving of add/add_batch == the all-scalar loop."""
+        mixed = ReplayBuffer(capacity=capacity, observation_shape=(2,))
+        scalar = ReplayBuffer(capacity=capacity, observation_shape=(2,))
+        next_index = 0
+        for use_batch, count in chunks:
+            rows = self._batch_of(range(next_index, next_index + count))
+            next_index += count
+            for row in zip(*rows):
+                scalar.add(row[0], int(row[1]), float(row[2]), row[3], bool(row[4]))
+            if use_batch:
+                mixed.add_batch(*rows)
+            else:
+                for row in zip(*rows):
+                    mixed.add(row[0], int(row[1]), float(row[2]), row[3], bool(row[4]))
+        self._assert_buffers_identical(mixed, scalar)
+
 
 class TestSchedules:
     def test_constant(self):
@@ -100,6 +181,40 @@ class TestSchedules:
             ConstantSchedule(2.0)
         with pytest.raises(ConfigurationError):
             LinearDecay()(-1)
+
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            LinearDecay(start=1.0, end=0.05, decay_steps=100),
+            ExponentialDecay(start=0.9, end=0.1, decay_steps=80),
+            ConstantSchedule(0.3),
+        ],
+    )
+    def test_values_match_scalar_calls_exactly(self, schedule):
+        """The vectorised form is elementwise-identical to per-step calls —
+        the property batched exploration relies on."""
+        steps = np.arange(0, 260)
+        assert schedule.values(steps).tolist() == [schedule(int(s)) for s in steps]
+
+    def test_linear_decay_under_batched_stepping(self):
+        """A B-lane lockstep run assigns indices t..t+B-1 per step; epsilon at a
+        given global transition count must not depend on the lane count."""
+        schedule = LinearDecay(start=1.0, end=0.0, decay_steps=64)
+        serial = [schedule(step) for step in range(96)]
+        for lanes in (4, 8, 32):
+            batched = []
+            total = 0
+            while total < 96:
+                width = min(lanes, 96 - total)
+                batched.extend(schedule.values(total + np.arange(width)).tolist())
+                total += width
+            assert batched == serial
+
+    def test_values_rejects_negative_steps(self):
+        with pytest.raises(ConfigurationError):
+            LinearDecay().values(np.array([3, -1]))
+        with pytest.raises(ConfigurationError):
+            ConstantSchedule().values(np.array([-5]))
 
 
 @pytest.fixture
@@ -211,6 +326,21 @@ class TestTrainingHistory:
     def test_mean_reward(self):
         history = TrainingHistory(episode_rewards=[1.0, 3.0])
         assert history.mean_reward() == pytest.approx(2.0)
+
+    def test_non_positive_window_rejected(self):
+        """Regression: window=0 used to silently mean "all episodes" (falsy)."""
+        history = TrainingHistory(
+            episode_successes=[True, False], episode_rewards=[1.0, 3.0]
+        )
+        with pytest.raises(TrainingError):
+            history.success_rate(window=0)
+        with pytest.raises(TrainingError):
+            history.mean_reward(window=0)
+        with pytest.raises(TrainingError):
+            history.success_rate(window=-3)
+        # None keeps the documented "all episodes" meaning.
+        assert history.success_rate(window=None) == pytest.approx(0.5)
+        assert history.mean_reward(window=None) == pytest.approx(2.0)
 
 
 class TestEvaluation:

@@ -1,0 +1,318 @@
+"""Tests for the lockstep batched training core (``repro.rl.collect``).
+
+The load-bearing property mirrors PR 4's rollout contract, now for *training*:
+``DqnTrainer.train`` at ``train_lanes=1`` reproduces the pre-refactor scalar
+loop (kept as ``train_serial``) bitwise — same RNG stream consumption, same
+replay buffer contents, same ``TrainingHistory``, same final Q-network and
+target-network weights — for the classical trainer and for BERRY's perturbed
+pass.  That equivalence is what makes the batched collector a refactor of the
+training stack rather than a second, subtly different trainer.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.berry import BerryConfig, BerryTrainer
+from repro.envs.batch import BatchedNavigationEnv, LaneEpisodeFeed
+from repro.envs.navigation import NavigationConfig, NavigationEnv
+from repro.envs.obstacles import ObstacleDensity
+from repro.envs.sensors import RaySensor
+from repro.errors import ConfigurationError, TrainingError
+from repro.nn.policies import build_policy, mlp
+from repro.rl.collect import LockstepCollector
+from repro.rl.dqn import DqnConfig, DqnTrainer
+from repro.rl.schedules import ConstantSchedule, LinearDecay
+from repro.utils.rng import spawn_generators
+
+
+@pytest.fixture
+def train_env_config() -> NavigationConfig:
+    """A small scenario with start noise so episodes differ within one world."""
+    return NavigationConfig(
+        world_size=(12.0, 12.0),
+        density=ObstacleDensity.SPARSE,
+        start=(1.5, 6.0),
+        goal=(10.5, 6.0),
+        goal_radius_m=1.2,
+        max_speed_m_s=2.5,
+        step_duration_s=0.5,
+        max_steps=30,
+        observation="vector",
+        ray_sensor=RaySensor(num_rays=6, max_range_m=4.0, step_m=0.25),
+        start_position_noise_m=0.8,
+    )
+
+
+TRAIN_CONFIG = DqnConfig(
+    batch_size=16,
+    buffer_capacity=500,
+    learning_starts=32,
+    train_frequency=2,
+    target_update_interval=50,
+    epsilon_schedule=LinearDecay(start=1.0, end=0.1, decay_steps=200),
+)
+
+
+def _dqn_trainer(config, lanes=1, env_seed=3, rng=7):
+    return DqnTrainer(
+        NavigationEnv(config, rng=env_seed),
+        policy_spec=mlp((16,)),
+        config=replace(TRAIN_CONFIG, train_lanes=lanes),
+        rng=rng,
+    )
+
+
+def _berry_trainer(config, lanes=1, env_seed=3, rng=7):
+    return BerryTrainer(
+        NavigationEnv(config, rng=env_seed),
+        policy_spec=mlp((16,)),
+        config=replace(TRAIN_CONFIG, train_lanes=lanes),
+        berry=BerryConfig(ber_percent=1.0),
+        rng=rng,
+    )
+
+
+def _assert_trainers_identical(a, b):
+    """Weights, target weights, replay ring and history must match bitwise."""
+    state_a, state_b = a.q_network.state_dict(), b.q_network.state_dict()
+    for name in state_a:
+        assert np.array_equal(state_a[name], state_b[name]), name
+    target_a, target_b = a.target_network.state_dict(), b.target_network.state_dict()
+    for name in target_a:
+        assert np.array_equal(target_a[name], target_b[name]), name
+    assert len(a.replay) == len(b.replay)
+    assert a.replay._cursor == b.replay._cursor
+    assert np.array_equal(a.replay._observations, b.replay._observations)
+    assert np.array_equal(a.replay._next_observations, b.replay._next_observations)
+    assert np.array_equal(a.replay._actions, b.replay._actions)
+    assert np.array_equal(a.replay._rewards, b.replay._rewards)
+    assert np.array_equal(a.replay._dones, b.replay._dones)
+    assert a.history == b.history
+
+
+class TestSerialEquivalence:
+    def test_b1_dqn_matches_serial_reference(self, train_env_config):
+        serial = _dqn_trainer(train_env_config)
+        serial.train_serial(8)
+        batched = _dqn_trainer(train_env_config)
+        batched.train(8)
+        assert serial.history.gradient_steps > 0
+        _assert_trainers_identical(serial, batched)
+
+    def test_b1_berry_matches_serial_reference(self, train_env_config):
+        serial = _berry_trainer(train_env_config)
+        serial.train_serial(8)
+        batched = _berry_trainer(train_env_config)
+        batched.train(8)
+        assert serial.num_injections > 0
+        assert serial.num_injections == batched.num_injections
+        _assert_trainers_identical(serial, batched)
+
+    def test_b1_matches_with_episode_cap(self, train_env_config):
+        """max_steps_per_episode below the env's own cap (the retire path)."""
+        serial = _dqn_trainer(train_env_config)
+        serial.train_serial(6, max_steps_per_episode=10)
+        batched = _dqn_trainer(train_env_config)
+        batched.train(6, max_steps_per_episode=10)
+        assert max(batched.history.episode_lengths) <= 10
+        _assert_trainers_identical(serial, batched)
+
+    def test_b1_matches_across_repeated_train_calls(self, train_env_config):
+        """The on-device pattern: many train(1) calls share one RNG stream."""
+        serial = _dqn_trainer(train_env_config)
+        batched = _dqn_trainer(train_env_config)
+        for _ in range(5):
+            serial.train_serial(1)
+            batched.train(1)
+        _assert_trainers_identical(serial, batched)
+
+    def test_b1_matches_with_randomized_worlds(self, train_env_config):
+        config = replace(train_env_config, randomize_obstacles_on_reset=True)
+        serial = _dqn_trainer(config)
+        serial.train_serial(6)
+        batched = _dqn_trainer(config)
+        batched.train(6)
+        _assert_trainers_identical(serial, batched)
+
+
+class TestMultiLaneTraining:
+    @pytest.mark.parametrize("lanes", [4, 16])
+    def test_deterministic_in_seed_and_lanes(self, train_env_config, lanes):
+        first = _dqn_trainer(train_env_config, lanes=lanes)
+        first.train(12)
+        second = _dqn_trainer(train_env_config, lanes=lanes)
+        second.train(12)
+        _assert_trainers_identical(first, second)
+
+    def test_episode_accounting(self, train_env_config):
+        trainer = _dqn_trainer(train_env_config, lanes=4)
+        episodes_seen = []
+        history = trainer.train(10, callback=lambda e, h: episodes_seen.append(e))
+        assert history.num_episodes == 10
+        assert sorted(episodes_seen) == list(range(10))
+        assert history.total_steps == sum(history.episode_lengths)
+        assert len(trainer.replay) == min(history.total_steps, trainer.replay.capacity)
+        assert history.gradient_steps > 0
+
+    def test_lanes_capped_at_num_episodes(self, train_env_config):
+        trainer = _dqn_trainer(train_env_config, lanes=64)
+        history = trainer.train(3)
+        assert history.num_episodes == 3
+
+    def test_berry_injections_track_gradient_steps(self, train_env_config):
+        trainer = _berry_trainer(train_env_config, lanes=4)
+        trainer.train(10)
+        assert trainer.num_injections > 0
+        assert trainer.num_injections == trainer.history.gradient_steps
+
+    def test_gradient_budget_matches_serial_cadence(self, train_env_config):
+        """B lanes keep the serial updates-per-transition budget."""
+        config = replace(
+            TRAIN_CONFIG, learning_starts=16, epsilon_schedule=ConstantSchedule(0.1)
+        )
+        serial = DqnTrainer(
+            NavigationEnv(train_env_config, rng=3),
+            policy_spec=mlp((16,)),
+            config=config,
+            rng=7,
+        )
+        serial.train(12)
+        batched = DqnTrainer(
+            NavigationEnv(train_env_config, rng=3),
+            policy_spec=mlp((16,)),
+            config=replace(config, train_lanes=4),
+            rng=7,
+        )
+        batched.train(12)
+        for trainer in (serial, batched):
+            threshold = max(config.learning_starts, config.batch_size)
+            expected = (trainer.history.total_steps - threshold) // config.train_frequency
+            assert abs(trainer.history.gradient_steps - expected) <= threshold
+
+    def test_train_lanes_validation(self):
+        with pytest.raises(TrainingError):
+            DqnConfig(train_lanes=0)
+        with pytest.raises(TrainingError):
+            DqnConfig(train_lanes=-2)
+
+
+class TestLockstepCollector:
+    def _collector(self, config, lanes, num_episodes, schedule=None, cap=None):
+        env = NavigationEnv(config, rng=3)
+        batch_env = BatchedNavigationEnv.from_env(
+            env, batch_size=lanes, share_rng=lanes == 1
+        )
+        network = build_policy(
+            mlp((16,)), env.observation_space.shape, env.action_space.n, rng=0
+        )
+        return LockstepCollector(
+            batch_env,
+            network,
+            schedule or ConstantSchedule(0.0),
+            spawn_generators(11, lanes),
+            num_episodes,
+            cap,
+        )
+
+    def test_epsilon_is_a_function_of_the_global_count(self, train_env_config):
+        """B-lane steps index the schedule by global transition count."""
+        schedule = LinearDecay(start=1.0, end=0.0, decay_steps=64)
+        collector = self._collector(train_env_config, 4, 12, schedule=schedule)
+        seen = []
+        total = 0
+        while collector.collecting:
+            step_batch = collector.collect(total)
+            seen.extend(step_batch.epsilons.tolist())
+            total += step_batch.num_transitions
+        assert seen == [schedule(step) for step in range(total)]
+
+    def test_transitions_are_row_aligned(self, train_env_config):
+        collector = self._collector(train_env_config, 3, 6)
+        step_batch = collector.collect(0)
+        k = step_batch.num_transitions
+        assert 0 < k <= 3
+        assert step_batch.observations.shape[0] == k
+        assert step_batch.next_observations.shape == step_batch.observations.shape
+        assert step_batch.rewards.shape == (k,)
+        assert step_batch.dones.shape == (k,)
+        assert set(np.unique(step_batch.dones)).issubset({0.0, 1.0})
+
+    def test_collect_drains_exactly_the_episode_budget(self, train_env_config):
+        collector = self._collector(train_env_config, 4, 7)
+        episodes = []
+        total = 0
+        while collector.collecting:
+            step_batch = collector.collect(total)
+            total += step_batch.num_transitions
+            episodes.extend(record.episode for record in step_batch.finished)
+        assert sorted(episodes) == list(range(7))
+        with pytest.raises(TrainingError):
+            collector.collect(total)
+
+    def test_non_positive_episode_cap_rejected(self, train_env_config):
+        """0 must be rejected, not silently remapped to the env default."""
+        with pytest.raises(TrainingError):
+            self._collector(train_env_config, 2, 4, cap=0)
+        with pytest.raises(TrainingError):
+            self._collector(train_env_config, 2, 4, cap=-5)
+
+    def test_stream_count_must_match_lanes(self, train_env_config):
+        env = BatchedNavigationEnv.from_env(NavigationEnv(train_env_config, rng=3), 4)
+        network = build_policy(mlp((16,)), env.observation_space.shape, env.action_space.n, rng=0)
+        with pytest.raises(TrainingError):
+            LockstepCollector(
+                env, network, ConstantSchedule(0.0), spawn_generators(0, 2), 4
+            )
+
+
+class TestLaneEpisodeFeed:
+    def test_refill_many_matches_one_at_a_time(self, train_env_config):
+        """The batched refill replays per-lane draws of sequential refills."""
+
+        def run(batched_refill: bool):
+            env = BatchedNavigationEnv.from_env(
+                NavigationEnv(train_env_config, rng=3), batch_size=4
+            )
+            feed = LaneEpisodeFeed(env, 10, seed_for=lambda episode: 90 + episode)
+            feed.prime()
+            lanes = [0, 2, 3]
+            observations = np.zeros((4,) + env.observation_space.shape)
+            if batched_refill:
+                refilled, obs = feed.refill_many(lanes)
+                observations[refilled] = obs
+            else:
+                for lane in lanes:
+                    obs = feed.refill(lane)
+                    if obs is not None:
+                        observations[lane] = obs
+            return observations, feed.lane_episode.copy()
+
+        obs_a, lanes_a = run(batched_refill=True)
+        obs_b, lanes_b = run(batched_refill=False)
+        assert np.array_equal(obs_a, obs_b)
+        assert np.array_equal(lanes_a, lanes_b)
+
+    def test_exhausted_refill_retires_env_lane(self, train_env_config):
+        env = BatchedNavigationEnv.from_env(
+            NavigationEnv(train_env_config, rng=3), batch_size=2
+        )
+        feed = LaneEpisodeFeed(env, 2, seed_for=lambda episode: episode)
+        feed.prime()
+        refilled, _ = feed.refill_many([0, 1])
+        assert refilled.size == 0
+        assert feed.exhausted
+        assert env.done.all()
+
+    def test_share_rng_validation(self, train_env_config):
+        env = NavigationEnv(train_env_config, rng=3)
+        with pytest.raises(ConfigurationError):
+            BatchedNavigationEnv.from_env(env, batch_size=2, share_rng=True)
+        with pytest.raises(ConfigurationError):
+            BatchedNavigationEnv(train_env_config, batch_size=1, share_rng=True)
+
+    def test_retire_lane_validation(self, train_env_config):
+        env = BatchedNavigationEnv.from_env(NavigationEnv(train_env_config, rng=3), 2)
+        with pytest.raises(ConfigurationError):
+            env.retire_lanes([5])

@@ -3,7 +3,8 @@
 This is the end-to-end path a user takes — argument parsing, sweep lookup,
 the engine with cache + journal, shard bookkeeping — exercised on a 4-job
 slice of the measured-rollout sweep (48 jobs / 12 shards), small enough for
-every CI run.
+every CI run.  Since the sweep's jobs carry ``train_lanes=8``, the slice also
+trains its reduced policies through the lockstep batched collection core.
 """
 
 import json
@@ -16,6 +17,12 @@ from repro.runtime.registry import get_registered_sweep
 
 
 class TestGeneralizationRolloutsCliSmoke:
+    def test_sweep_jobs_train_on_batched_lanes(self):
+        """Every registered rollout job trains with train_lanes > 1, so the CI
+        slice below exercises the batched training core end-to-end."""
+        sweep = get_registered_sweep("generalization-rollouts").spec()
+        assert all(int(job.params["train_lanes"]) > 1 for job in sweep.jobs)
+
     def test_four_job_slice_runs_through_the_cli(self, tmp_path, capsys):
         exit_code = main(
             [
