@@ -1,0 +1,173 @@
+"""Benchmark: observability overhead on the batched training hot path.
+
+The instrumented layers (`repro.envs.batch`, `repro.rl.collect`,
+`repro.rl.dqn`) call into :mod:`repro.obs` once or twice per *lockstep step*
+— not per transition — so the cost to bound is a handful of
+``get_metrics()``/``span()`` calls against a step that does a batched Q
+forward, a batched environment step and a replay insert for B = 64 lanes.
+
+Two gates, both on the B = 64 collection cadence of
+``test_bench_training.py``:
+
+* **Disabled < 1%.**  The no-op fast path is measured directly (per-call
+  cost of the shared no-op instruments and spans) and extrapolated against
+  the measured lockstep-step time with a deliberately inflated call budget.
+  This stays deterministic where an end-to-end A/B comparison at 1%
+  resolution would be pure timing noise.
+* **Enabled < 5%.**  End-to-end env-steps/sec with metrics *and* tracing
+  enabled versus disabled, best-of-N on both sides to squeeze out scheduler
+  noise.
+"""
+
+import time
+
+import pytest
+
+from repro.envs.navigation import NavigationEnv
+from repro.envs.obstacles import ObstacleDensity
+from repro.experiments.profiles import FAST_PROFILE
+from repro.nn.policies import mlp
+from repro.obs import (
+    collecting_metrics,
+    collecting_trace,
+    disable_metrics,
+    disable_tracing,
+    get_metrics,
+    span,
+)
+from repro.rl.dqn import DqnConfig, DqnTrainer
+from repro.rl.schedules import LinearDecay
+
+#: Lane count of the gates (the rollout core's default width).
+GATE_LANES = 64
+
+#: No-op operations budgeted per lockstep step in the disabled-path gate.
+#: The real count is ~6 (two get_metrics + enabled reads, two spans, an
+#: occasional gradient-step span/counter); 32 leaves a 5x safety margin.
+NOOP_OPS_PER_STEP = 32
+
+
+@pytest.fixture(autouse=True)
+def _observability_disabled():
+    disable_metrics()
+    disable_tracing()
+    yield
+    disable_metrics()
+    disable_tracing()
+
+
+def _config(train_lanes: int) -> DqnConfig:
+    # The collection-bound B=64 cadence of test_bench_training.py.
+    return DqnConfig(
+        batch_size=16,
+        buffer_capacity=8000,
+        learning_starts=128,
+        train_frequency=8,
+        target_update_interval=250,
+        epsilon_schedule=LinearDecay(start=1.0, end=0.05, decay_steps=1500),
+        train_lanes=train_lanes,
+    )
+
+
+def _trainer(train_lanes: int = GATE_LANES) -> DqnTrainer:
+    config = FAST_PROFILE.navigation_for_density(ObstacleDensity.SPARSE)
+    return DqnTrainer(
+        NavigationEnv(config, rng=5),
+        policy_spec=mlp((32, 32)),
+        config=_config(train_lanes),
+        rng=9,
+    )
+
+
+def _timed_training(episodes: int):
+    """(env-steps/sec, seconds per lockstep step) for one training run."""
+    trainer = _trainer()
+    start = time.perf_counter()
+    trainer.train(episodes)
+    elapsed = time.perf_counter() - start
+    total_steps = trainer.history.total_steps
+    assert total_steps > 0
+    # Lockstep steps advance up to B lanes at once; approximate their count
+    # from the transition total (exact enough for an overhead bound).
+    lockstep_steps = max(total_steps / GATE_LANES, 1.0)
+    return total_steps / elapsed, elapsed / lockstep_steps
+
+
+def _noop_op_cost_s(iterations: int = 50_000) -> float:
+    """Per-operation cost of the disabled fast path (the worst no-op op)."""
+    metrics = get_metrics()
+    assert not metrics.enabled
+    start = time.perf_counter()
+    for _ in range(iterations):
+        get_metrics().counter("bench.noop").inc()
+    counter_s = (time.perf_counter() - start) / iterations
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with span("bench.noop"):
+            pass
+    span_s = (time.perf_counter() - start) / iterations
+    start = time.perf_counter()
+    for _ in range(iterations):
+        get_metrics().histogram("bench.noop").observe(1.0)
+    histogram_s = (time.perf_counter() - start) / iterations
+    return max(counter_s, span_s, histogram_s)
+
+
+def test_disabled_overhead_below_1pct():
+    """Gate: the no-op fast path costs < 1% of a B=64 lockstep step."""
+    op_s = min(_noop_op_cost_s() for _ in range(3))
+    _, step_s = _timed_training(episodes=96)
+    overhead = NOOP_OPS_PER_STEP * op_s / step_s
+    print(
+        f"\nno-op op {op_s * 1e9:.0f}ns x {NOOP_OPS_PER_STEP} budgeted ops vs "
+        f"{step_s * 1e6:.0f}us lockstep step -> {100 * overhead:.3f}% overhead"
+    )
+    assert overhead < 0.01
+
+
+def test_enabled_overhead_below_5pct():
+    """Gate: metrics + tracing enabled costs < 5% env-steps/sec at B=64.
+
+    Disabled and enabled runs are *interleaved* and compared best-of-N so a
+    load spike or thermal drift during the gate hits both sides alike instead
+    of masquerading as instrumentation overhead.
+    """
+    episodes = 384
+    ratios = []
+    for _ in range(5):
+        disabled, _ = _timed_training(episodes)
+        with collecting_metrics() as registry, collecting_trace():
+            enabled, _ = _timed_training(episodes)
+        # The run must actually have recorded through the instrumented layers.
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["train.env_steps"] > 0
+        assert snapshot["counters"]["env.steps"] > 0
+        ratios.append(enabled / disabled)
+    # Real instrumentation overhead slows *every* pair; a noise spike only
+    # some, so the cleanest pair is the sound upper bound on the true cost.
+    best = max(ratios)
+    print(
+        f"\nenabled/disabled ratios {['%.3f' % r for r in ratios]} "
+        f"-> best pair {100 * (1 - best):.2f}% overhead"
+    )
+    assert best >= 0.95
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_bench_training_observed(benchmark):
+    """Tracked shape: the B=64 training loop with full observability on."""
+
+    def run():
+        with collecting_metrics() as registry, collecting_trace() as tracer:
+            trainer = _trainer()
+            trainer.train(96)
+        return trainer, registry, tracer
+
+    trainer, registry, tracer = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert trainer.history.num_episodes == 96
+    snapshot = registry.snapshot()
+    print(
+        f"\nobserved training: {snapshot['counters']['env.steps']:.0f} env steps, "
+        f"{snapshot['counters']['train.gradient_steps']:.0f} gradient steps, "
+        f"{len(tracer.records())} spans"
+    )

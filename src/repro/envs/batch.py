@@ -43,6 +43,7 @@ from repro.errors import ConfigurationError, EnvironmentError_
 from repro.envs.navigation import NavigationConfig, NavigationEnv, compile_world
 from repro.envs.obstacles import ObstacleField, planar_distances
 from repro.envs.vector import EpisodeResult, as_batch_policy
+from repro.obs import get_metrics, span
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 
 #: Default lane count for auto-batched rollouts (see ``run_episodes``).
@@ -329,6 +330,10 @@ class BatchedNavigationEnv:
                 "step() called with every lane finished; call reset_lanes() first"
             )
         lanes = np.nonzero(active)[0]
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("env.steps").inc(lanes.size)
+            metrics.histogram("env.lane_occupancy").observe(lanes.size / self.batch_size)
         config = self.config
         acts = actions[lanes].astype(np.int64)
         if np.any((acts < 0) | (acts >= self.action_space.n)):
@@ -363,19 +368,20 @@ class BatchedNavigationEnv:
         start_times = self._times[lanes]
         end_times = start_times + config.step_duration_s
         collided = np.zeros(lanes.size, dtype=bool)
-        for field, rows in self._group_by_field(lanes):
-            if getattr(field, "num_movers", 0) > 0:
-                collided[rows] = field.segments_collide_timed(
-                    positions[rows],
-                    new_positions[rows],
-                    start_times[rows],
-                    end_times[rows],
-                    config.vehicle_radius_m,
-                )
-            else:
-                collided[rows] = field.segments_collide(
-                    positions[rows], new_positions[rows], config.vehicle_radius_m
-                )
+        with span("rollout.collision_check"):
+            for field, rows in self._group_by_field(lanes):
+                if getattr(field, "num_movers", 0) > 0:
+                    collided[rows] = field.segments_collide_timed(
+                        positions[rows],
+                        new_positions[rows],
+                        start_times[rows],
+                        end_times[rows],
+                        config.vehicle_radius_m,
+                    )
+                else:
+                    collided[rows] = field.segments_collide(
+                        positions[rows], new_positions[rows], config.vehicle_radius_m
+                    )
         self._times[lanes] = end_times
 
         moved = ~collided
@@ -443,6 +449,10 @@ class BatchedNavigationEnv:
         Dynamic worlds additionally split by episode time, because each lane
         sees the movers at its own clock.
         """
+        with span("rollout.ray_cast"):
+            return self._observe_lanes_inner(lanes)
+
+    def _observe_lanes_inner(self, lanes: np.ndarray) -> np.ndarray:
         observations = np.empty(
             (lanes.size,) + self.observation_space.shape, dtype=np.float64
         )
@@ -563,6 +573,9 @@ class LaneEpisodeFeed:
         left the env lane mid-flight).
         """
         lane = int(lane)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("env.episodes").inc()
         if self._next_episode < self.num_episodes:
             episode = self._next_episode
             self._next_episode += 1
@@ -584,6 +597,10 @@ class LaneEpisodeFeed:
         observations)`` for the lanes that received a new episode; the rest
         are idled and retired.
         """
+        metrics = get_metrics()
+        if metrics.enabled:
+            # Each refilled-or-retired lane is one just-finished episode.
+            metrics.counter("env.episodes").inc(len(lanes))
         assigned: List[Tuple[int, int]] = []
         exhausted: List[int] = []
         for lane in lanes:

@@ -12,6 +12,7 @@ every time, as it does on real silicon.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -20,9 +21,21 @@ import numpy as np
 from repro.errors import FaultModelError
 from repro.faults.fault_map import FaultMap
 from repro.nn.network import Sequential
+from repro.obs import get_metrics, span
 from repro.quant.fixed_point import QuantizationConfig, quantize
 from repro.quant.qtensor import QuantizedTensor
 from repro.utils.rng import SeedLike, as_generator
+
+
+def _popcount(values: np.ndarray) -> int:
+    """Total set bits across ``values`` (any unsigned integer dtype)."""
+    values = values.astype(np.uint64, copy=True)
+    total = 0
+    one = np.uint64(1)
+    while values.any():
+        total += int(np.count_nonzero(values & one))
+        values >>= one
+    return total
 
 
 @dataclass(frozen=True)
@@ -138,11 +151,25 @@ class BitErrorInjector:
                 f"fault map covers {fault_map.memory_bits} bits but the parameters occupy "
                 f"{self.layout.total_bits} bits"
             )
+        metrics = get_metrics()
+        started = time.perf_counter() if metrics.enabled else 0.0
+        flipped = 0
         perturbed: Dict[str, np.ndarray] = {}
-        for name, tensor in quantized.items():
-            segment = self.layout.segment(name)
-            corrupted = self._corrupt_tensor(tensor, fault_map, segment.bit_offset)
-            perturbed[name] = corrupted.dequantize().reshape(segment.shape)
+        with span("faults.corrupt"):
+            for name, tensor in quantized.items():
+                segment = self.layout.segment(name)
+                corrupted = self._corrupt_tensor(tensor, fault_map, segment.bit_offset)
+                if metrics.enabled:
+                    flipped += _popcount(
+                        np.bitwise_xor(
+                            tensor.to_unsigned().ravel(), corrupted.to_unsigned().ravel()
+                        )
+                    )
+                perturbed[name] = corrupted.dequantize().reshape(segment.shape)
+        if metrics.enabled:
+            metrics.counter("faults.maps_applied").inc()
+            metrics.counter("faults.bits_flipped").inc(flipped)
+            metrics.histogram("faults.corrupt_s").observe(time.perf_counter() - started)
         return perturbed
 
     def perturb_state_dict(

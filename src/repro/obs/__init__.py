@@ -1,0 +1,67 @@
+"""``repro.obs`` — the observability layer: metrics, spans, trace export.
+
+Three cooperating pieces, all process-local and disabled by default:
+
+* :mod:`repro.obs.metrics` — a registry of counters, gauges and fixed
+  log-scale-binned histograms with a zero-allocation no-op fast path and
+  snapshot/merge semantics (workers ship deltas, the parent merges).
+* :mod:`repro.obs.tracing` — ``with span("rollout.ray_cast"):`` timing on
+  ``perf_counter_ns``, a bounded in-memory ring, and Chrome trace-event JSON
+  export loadable in Perfetto / ``chrome://tracing``.
+* :mod:`repro.obs.sink` / :mod:`repro.obs.heartbeat` — episode-cadence
+  training telemetry fed by the trainer callback, and the rate-limited
+  progress line of long sweep runs.
+
+Hot layers import the module-level accessors (:func:`get_metrics`,
+:func:`span`) and call them unconditionally; enabling observability is the
+caller's decision (``--trace`` / ``--metrics`` on the CLI, or
+:func:`enable_metrics` / :func:`enable_tracing` in code).
+"""
+
+from repro.obs.capture import observe_job
+from repro.obs.heartbeat import Heartbeat
+from repro.obs.metrics import (
+    NOOP_METRICS,
+    MetricsRegistry,
+    collecting_metrics,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    metrics_enabled,
+)
+from repro.obs.sink import TelemetrySink
+from repro.obs.tracing import (
+    Tracer,
+    chrome_trace_to_spans,
+    collecting_trace,
+    disable_tracing,
+    enable_tracing,
+    export_chrome_trace,
+    get_tracer,
+    span,
+    spans_to_chrome_trace,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Heartbeat",
+    "MetricsRegistry",
+    "NOOP_METRICS",
+    "TelemetrySink",
+    "Tracer",
+    "chrome_trace_to_spans",
+    "collecting_metrics",
+    "collecting_trace",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "export_chrome_trace",
+    "get_metrics",
+    "get_tracer",
+    "metrics_enabled",
+    "observe_job",
+    "span",
+    "spans_to_chrome_trace",
+    "tracing_enabled",
+]

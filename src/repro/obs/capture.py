@@ -1,0 +1,75 @@
+"""Per-job observability capture for the sweep executors.
+
+:class:`observe_job` wraps the execution of one :class:`~repro.runtime.jobs.
+JobSpec` on whatever process it runs on.  It always times the job (the
+``duration_s`` every journal record carries); when *capture* is requested it
+additionally installs a fresh metrics registry and tracer for the duration,
+so everything the job's instrumented layers record — env steps, episodes,
+bits flipped, nested spans — forms an isolated, JSON-able **delta**:
+
+``{"duration_s": float, "metrics": snapshot, "spans": [record, ...]}``
+
+The delta travels back to the engine alongside the job result (it pickles as
+plain dicts across the multiprocessing boundary) where the parent merges it
+into its own registry/tracer.  Serial and multiprocess execution share this
+one code path: isolation-then-merge in both, so per-job attribution works
+identically whether the job ran in the parent or a worker.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import collecting_metrics
+from repro.obs.tracing import collecting_trace
+
+#: Ring capacity of a per-job tracer: bounds the delta shipped per job.
+JOB_RING_CAPACITY = 8192
+
+
+class observe_job:
+    """Context manager timing (and optionally capturing) one job execution."""
+
+    def __init__(self, job_id: str, kind: str, capture: bool = False) -> None:
+        self.job_id = job_id
+        self.kind = kind
+        self.capture = capture
+        self.duration_s: float = 0.0
+        self.metrics: Optional[Dict[str, Any]] = None
+        self.spans: Optional[list] = None
+        self._registry_cm = None
+        self._tracer_cm = None
+        self._span = None
+
+    def __enter__(self) -> "observe_job":
+        if self.capture:
+            self._registry_cm = collecting_metrics()
+            self._registry = self._registry_cm.__enter__()
+            self._tracer_cm = collecting_trace(capacity=JOB_RING_CAPACITY)
+            self._tracer = self._tracer_cm.__enter__()
+            self._span = self._tracer.span("job.execute", job=self.job_id, kind=self.kind)
+            self._span.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self._start
+        if self.capture:
+            if exc_type is not None:
+                self._span.set_attribute("error", exc_type.__name__)
+            self._span.__exit__(None, None, None)
+            self.metrics = self._registry.snapshot()
+            self.spans = self._tracer.records()
+            self._tracer_cm.__exit__(None, None, None)
+            self._registry_cm.__exit__(None, None, None)
+        return False
+
+    def delta(self) -> Dict[str, Any]:
+        """The JSON-able observation payload shipped next to the job result."""
+        payload: Dict[str, Any] = {"duration_s": self.duration_s}
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        if self.spans is not None:
+            payload["spans"] = self.spans
+        return payload

@@ -1,0 +1,305 @@
+"""Process-local metrics: counters, gauges and log-binned histograms.
+
+The registry is the *measurement substrate* of the runtime: hot layers call
+``get_metrics().counter("env.steps").inc(k)`` unconditionally, and whether
+that records anything is decided once, globally, by which registry object is
+installed.  Two invariants keep the disabled path honest:
+
+* **Zero-allocation no-op fast path.**  When metrics are disabled (the
+  default), :func:`get_metrics` returns the shared :data:`NOOP_METRICS`
+  singleton whose ``counter``/``gauge``/``histogram`` accessors hand back
+  pre-allocated no-op instruments — no dict lookups, no object creation, no
+  branches beyond one attribute read.  Callers that must *compute* a value
+  before recording it guard on ``registry.enabled`` so the computation is
+  skipped too.
+* **Snapshot/merge semantics.**  A live registry serialises to a plain-JSON
+  :meth:`~MetricsRegistry.snapshot` and absorbs other snapshots via
+  :meth:`~MetricsRegistry.merge`: counters and histograms sum exactly, gauges
+  are last-write-wins.  That is the contract the sweep engine relies on when
+  multiprocessing workers collect a fresh registry per job and ship the delta
+  back alongside the job result (see :func:`repro.obs.observe_job`).
+
+Histograms use one **fixed log-scale binning** shared by every process —
+``BINS_PER_DECADE`` bins per power of ten over ``(10**MIN_DECADE,
+10**MAX_DECADE)`` plus underflow/overflow — so worker and parent histograms
+always merge bin-for-bin without negotiating bounds.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Iterator, Optional
+
+from contextlib import contextmanager
+
+#: Fixed histogram binning, identical in every process so snapshots merge.
+BINS_PER_DECADE = 5
+MIN_DECADE = -9   # smallest bin upper bound: 10**-9
+MAX_DECADE = 9    # everything >= 10**9 lands in the overflow bin
+
+_NUM_BINS = (MAX_DECADE - MIN_DECADE) * BINS_PER_DECADE
+_UNDERFLOW = -1   # bin index for values <= 0 or below the smallest bound
+
+
+def bin_index(value: float) -> int:
+    """The fixed-scheme bin for ``value``: ``_UNDERFLOW``, ``_NUM_BINS`` or in between."""
+    if value <= 0.0:
+        return _UNDERFLOW
+    position = (math.log10(value) - MIN_DECADE) * BINS_PER_DECADE
+    index = math.floor(position)
+    if index < 0:
+        return _UNDERFLOW
+    if index >= _NUM_BINS:
+        return _NUM_BINS
+    return int(index)
+
+
+def bin_upper_bound(index: int) -> float:
+    """Upper bound of bin ``index`` (``inf`` for the overflow bin)."""
+    if index >= _NUM_BINS:
+        return math.inf
+    return 10.0 ** (MIN_DECADE + (index + 1) / BINS_PER_DECADE)
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A fixed log-scale-binned distribution with exact count/sum/min/max."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "bins")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.bins: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        index = bin_index(value)
+        self.bins[index] = self.bins.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bin upper bounds.
+
+        The estimate is conservative (an upper bound within one bin width);
+        exact enough for heartbeat/report summaries, not for assertions.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index in sorted(self.bins):
+            seen += self.bins[index]
+            if seen >= rank:
+                bound = bin_upper_bound(index)
+                return min(bound, self.maximum) if math.isfinite(bound) else self.maximum
+        return self.maximum
+
+
+class _NoopInstrument:
+    """One shared object standing in for every disabled instrument."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NOOP_INSTRUMENT = _NoopInstrument()
+
+
+class MetricsRegistry:
+    """A live, process-local collection of named instruments."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ instruments
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter())
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge())
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(name, Histogram())
+        return instrument
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # ------------------------------------------------------------------ snapshot/merge
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-JSON view of every instrument (the worker-delta format)."""
+        return {
+            "counters": {name: c.value for name, c in self._counters.items()},
+            "gauges": {
+                name: g.value for name, g in self._gauges.items() if g.value is not None
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.minimum if h.count else None,
+                    "max": h.maximum if h.count else None,
+                    "mean": h.mean,
+                    "bins": {str(index): count for index, count in sorted(h.bins.items())},
+                }
+                for name, h in self._histograms.items()
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Absorb a :meth:`snapshot` delta: counters/histograms sum, gauges overwrite."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            count = int(data.get("count", 0))
+            if count == 0:
+                continue
+            histogram.count += count
+            histogram.total += float(data.get("sum", 0.0))
+            minimum = data.get("min")
+            maximum = data.get("max")
+            if minimum is not None and minimum < histogram.minimum:
+                histogram.minimum = float(minimum)
+            if maximum is not None and maximum > histogram.maximum:
+                histogram.maximum = float(maximum)
+            for index, bin_count in data.get("bins", {}).items():
+                index = int(index)
+                histogram.bins[index] = histogram.bins.get(index, 0) + int(bin_count)
+
+
+class NoopMetrics:
+    """The disabled registry: every accessor returns the shared no-op instrument."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def gauge(self, name: str) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def histogram(self, name: str) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        pass
+
+
+#: The one instance every disabled call path shares.
+NOOP_METRICS = NoopMetrics()
+
+_metrics: Any = NOOP_METRICS
+
+
+def get_metrics() -> Any:
+    """The currently installed registry (:data:`NOOP_METRICS` when disabled)."""
+    return _metrics
+
+
+def metrics_enabled() -> bool:
+    return _metrics.enabled
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Install (or return the already-installed) live registry."""
+    global _metrics
+    if not _metrics.enabled:
+        _metrics = MetricsRegistry()
+    return _metrics
+
+
+def disable_metrics() -> None:
+    """Return to the shared no-op singleton."""
+    global _metrics
+    _metrics = NOOP_METRICS
+
+
+@contextmanager
+def collecting_metrics() -> Iterator[MetricsRegistry]:
+    """Install a *fresh* registry for the duration of the block.
+
+    This is the per-job collection primitive: the previous registry (live or
+    no-op) is restored on exit, so the block's recordings form an isolated
+    delta the caller can snapshot and ship/merge.
+    """
+    global _metrics
+    previous = _metrics
+    registry = MetricsRegistry()
+    _metrics = registry
+    try:
+        yield registry
+    finally:
+        _metrics = previous

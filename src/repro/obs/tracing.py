@@ -1,0 +1,262 @@
+"""Span-based tracing on ``perf_counter_ns`` with Chrome trace-event export.
+
+A *span* is one timed region of code::
+
+    with span("rollout.ray_cast", lanes=64):
+        ...
+
+Spans nest naturally (the exporter reconstructs nesting purely from the
+timestamps, the way ``chrome://tracing`` does for complete events), carry
+arbitrary JSON-able attributes, and land in a bounded in-memory ring so a
+long run can never grow the trace without bound — when the ring is full the
+*oldest* spans are dropped, keeping the most recent window.
+
+Timestamps are measured with :func:`time.perf_counter_ns` (monotonic,
+nanosecond resolution) but *anchored* to one wall-clock reading taken when
+the tracer is created.  That anchoring is what lets span records collected in
+different processes — each worker of a multiprocessing sweep runs its own
+tracer — merge onto a single coherent timeline: every record's absolute
+timestamp is ``wall_anchor + (perf_now - perf_anchor)``, and the wall clocks
+of processes on one machine agree to far better than span granularity.
+
+Like the metrics registry, tracing is disabled by default and the module
+entry point :func:`span` returns a shared no-op context manager when no
+tracer is installed, so instrumented hot paths cost one global read and a
+call when tracing is off.
+
+The export format is the Chrome trace-event JSON array-of-``"X"``-events
+documented by the Trace Event Profiling Tool; the produced file loads
+directly in Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+from contextlib import contextmanager
+
+#: Default ring capacity: plenty for a full sweep, bounded for long services.
+DEFAULT_RING_CAPACITY = 65536
+
+
+class _Span:
+    """One active ``with span(...)`` region."""
+
+    __slots__ = ("_tracer", "name", "attributes", "_start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+
+    def set_attribute(self, name: str, value: Any) -> None:
+        self.attributes[name] = value
+
+    def __enter__(self) -> "_Span":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_ns = time.perf_counter_ns()
+        self._tracer._record(self.name, self._start_ns, end_ns, self.attributes)
+        return False
+
+
+class _NoopSpan:
+    """Shared, stateless stand-in for every span while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set_attribute(self, name: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects span records into a bounded ring, anchored to the wall clock."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ring capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self._dropped = 0
+        self._lock = threading.Lock()
+        # Wall-clock anchor: perf_counter offsets are converted to absolute
+        # nanosecond timestamps so records from different processes align.
+        self._wall_anchor_ns = time.time_ns()
+        self._perf_anchor_ns = time.perf_counter_ns()
+        self._pid = os.getpid()
+
+    # ------------------------------------------------------------------ recording
+    def span(self, name: str, **attributes: Any) -> _Span:
+        return _Span(self, name, attributes)
+
+    def _record(self, name: str, start_ns: int, end_ns: int, attributes: Dict[str, Any]) -> None:
+        record = {
+            "name": name,
+            "ts_ns": self._wall_anchor_ns + (start_ns - self._perf_anchor_ns),
+            "dur_ns": end_ns - start_ns,
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+        }
+        if attributes:
+            record["args"] = attributes
+        with self._lock:
+            if len(self._ring) == self.capacity:
+                self._dropped += 1
+            self._ring.append(record)
+
+    # ------------------------------------------------------------------ reading/merging
+    def records(self) -> List[Dict[str, Any]]:
+        """The retained span records, oldest first (plain JSON-able dicts)."""
+        with self._lock:
+            return list(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted from the ring because it was full."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def absorb(self, records: List[Dict[str, Any]]) -> None:
+        """Merge span records collected elsewhere (a worker's delta) into the ring."""
+        with self._lock:
+            for record in records:
+                if len(self._ring) == self.capacity:
+                    self._dropped += 1
+                self._ring.append(record)
+
+
+def spans_to_chrome_trace(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert span records into a Chrome trace-event JSON document.
+
+    Every record becomes one complete (``"ph": "X"``) event; timestamps are
+    rebased to the earliest span so the trace opens at t=0 regardless of the
+    wall-clock epoch, and per-process metadata names each pid's track.
+    """
+    if records:
+        origin_ns = min(record["ts_ns"] for record in records)
+    else:
+        origin_ns = 0
+    events: List[Dict[str, Any]] = []
+    seen_pids: Dict[int, bool] = {}
+    for record in records:
+        pid = record.get("pid", 0)
+        if pid not in seen_pids:
+            seen_pids[pid] = True
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"repro pid {pid}"},
+                }
+            )
+        event = {
+            "name": record["name"],
+            "ph": "X",
+            "cat": "repro",
+            "ts": record["ts_ns"] / 1000.0 - origin_ns / 1000.0,
+            "dur": record["dur_ns"] / 1000.0,
+            "pid": pid,
+            "tid": record.get("tid", 0),
+        }
+        if record.get("args"):
+            event["args"] = record["args"]
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_to_spans(document: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Inverse of :func:`spans_to_chrome_trace` (modulo the t=0 rebasing)."""
+    records = []
+    for event in document.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        records.append(
+            {
+                "name": event["name"],
+                "ts_ns": int(round(event["ts"] * 1000.0)),
+                "dur_ns": int(round(event["dur"] * 1000.0)),
+                "pid": event.get("pid", 0),
+                "tid": event.get("tid", 0),
+                "args": event.get("args", {}),
+            }
+        )
+    return records
+
+
+_tracer: Optional[Tracer] = None
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The installed tracer, or ``None`` while tracing is disabled."""
+    return _tracer
+
+
+def tracing_enabled() -> bool:
+    return _tracer is not None
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the installed tracer (shared no-op when disabled)."""
+    tracer = _tracer
+    if tracer is None:
+        return NOOP_SPAN
+    return _Span(tracer, name, attributes)
+
+
+def enable_tracing(capacity: int = DEFAULT_RING_CAPACITY) -> Tracer:
+    """Install (or return the already-installed) tracer."""
+    global _tracer
+    if _tracer is None:
+        _tracer = Tracer(capacity=capacity)
+    return _tracer
+
+
+def disable_tracing() -> None:
+    global _tracer
+    _tracer = None
+
+
+@contextmanager
+def collecting_trace(capacity: int = DEFAULT_RING_CAPACITY) -> Iterator[Tracer]:
+    """Install a *fresh* tracer for the duration of the block (per-job deltas)."""
+    global _tracer
+    previous = _tracer
+    tracer = Tracer(capacity=capacity)
+    _tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _tracer = previous
+
+
+def export_chrome_trace(path, records: Optional[List[Dict[str, Any]]] = None) -> Path:
+    """Write the tracer's records (or ``records``) as a Chrome trace JSON file."""
+    if records is None:
+        records = _tracer.records() if _tracer is not None else []
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(spans_to_chrome_trace(records)))
+    return target

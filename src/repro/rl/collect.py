@@ -33,6 +33,7 @@ import numpy as np
 from repro.envs.batch import BatchedNavigationEnv, LaneEpisodeFeed
 from repro.errors import TrainingError
 from repro.nn.network import Sequential
+from repro.obs import get_metrics
 from repro.rl.schedules import Schedule
 
 
@@ -130,6 +131,13 @@ class LockstepCollector:
 
         q_values = self.q_network.forward(observations)
         actions_taken = np.argmax(q_values, axis=1).astype(np.int64)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("train.env_steps").inc(active.size)
+            metrics.gauge("train.epsilon").set(float(epsilons[-1]))
+            metrics.histogram("train.q_max").observe(
+                float(np.mean(np.max(q_values, axis=1)))
+            )
         for row, lane in enumerate(active):
             stream = self.exploration_rngs[lane]
             if stream.random() < epsilons[row]:

@@ -33,6 +33,7 @@ from repro.nn.loss import HuberLoss, MSELoss
 from repro.nn.network import Sequential
 from repro.nn.optim import build_optimizer
 from repro.nn.policies import PolicySpec, build_policy, mlp
+from repro.obs import get_metrics, span
 from repro.rl.replay_buffer import ReplayBuffer, Transition
 from repro.rl.schedules import LinearDecay, Schedule
 from repro.utils.logging import get_logger
@@ -190,10 +191,15 @@ class DqnTrainer:
 
     def learn_on_batch(self, batch: Transition) -> float:
         """One optimizer update from one mini-batch."""
-        self.optimizer.zero_grad()
-        loss_value = self.accumulate_gradients(batch)
-        self.optimizer.step()
+        with span("train.gradient_step"):
+            self.optimizer.zero_grad()
+            loss_value = self.accumulate_gradients(batch)
+            self.optimizer.step()
         self.history.gradient_steps += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("train.gradient_steps").inc()
+            metrics.histogram("train.loss").observe(loss_value)
         return loss_value
 
     def sync_target_network(self) -> None:
@@ -261,6 +267,9 @@ class DqnTrainer:
             step_batch.next_observations,
             step_batch.dones,
         )
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.gauge("train.replay_fill").set(len(self.replay) / self.replay.capacity)
         start = self.history.total_steps
         count = step_batch.num_transitions
         self.history.total_steps += count

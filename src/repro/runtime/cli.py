@@ -5,31 +5,58 @@
     python -m repro.runtime list
     python -m repro.runtime run fig5 --workers 4
     python -m repro.runtime run scenarios --shard 0/4 --workers 2
+    python -m repro.runtime -v run generalization --trace trace.json --metrics metrics.json
     python -m repro.runtime status scenarios
+    python -m repro.runtime report scenarios
 
 ``run`` resolves a registered sweep, executes it through
 :class:`~repro.runtime.engine.SweepRunner` (cached and journaled by default,
 so an interrupted or sharded invocation picks up where it left off), prints
-the assembled table(s) and can write them to JSON.  ``status`` replays a
-sweep's journal without executing anything.
+the assembled table(s) and can write them to JSON.  While it runs, a
+rate-limited heartbeat line on stderr reports jobs done / cache hits /
+jobs-per-sec / ETA.  ``--trace`` captures spans (engine phases plus per-job
+execution, merged from multiprocessing workers) into a Chrome trace-event
+JSON loadable in Perfetto or ``chrome://tracing``; ``--metrics`` writes the
+merged metrics registry snapshot.  ``status`` replays a sweep's journal
+without executing anything, and ``report`` turns the journal's per-job
+timings into a latency table (p50/p95/max plus the slowest jobs).
+
+``-v``/``-vv`` before the subcommand enables console logging for the
+``repro`` namespace (INFO/DEBUG) via
+:func:`repro.utils.logging.enable_console_logging`; the engine's per-job
+cache-hit/resume/execute decisions log at DEBUG.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 from pathlib import Path
 from typing import Any, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError
+from repro.obs import (
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+    export_chrome_trace,
+)
 from repro.runtime.cache import ResultCache, default_cache_root
 from repro.runtime.engine import SweepExecutionError, SweepReport, SweepRunner
 from repro.runtime.executor import make_executor
 from repro.runtime.journal import Journal, default_journal_dir
 from repro.runtime.registry import get_registered_sweep, iter_registered_sweeps
+from repro.utils.logging import enable_console_logging
 from repro.utils.serialization import save_json
 from repro.utils.tables import Table, format_aligned, format_markdown
+
+#: Default heartbeat cadence of ``run`` (seconds); 0 disables.
+DEFAULT_HEARTBEAT_S = 5.0
 
 
 def _parse_shard(value: str) -> Tuple[int, int]:
@@ -46,6 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-runtime",
         description="Run, shard and resume the paper's registered experiment sweeps.",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="console logging for the repro namespace (-v INFO, -vv DEBUG)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", dest="global_quiet", action="store_true",
+        help="suppress summary and heartbeat output",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -69,10 +104,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--format", choices=("aligned", "markdown", "none"), default="aligned",
                      help="how to print tables (default: aligned)")
     run.add_argument("--quiet", action="store_true", help="suppress the run summary line")
+    run.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                     help="capture spans and export a Chrome/Perfetto trace JSON here")
+    run.add_argument("--metrics", type=Path, default=None, metavar="PATH",
+                     help="collect metrics and write the merged registry snapshot here")
+    run.add_argument("--heartbeat", type=float, default=DEFAULT_HEARTBEAT_S, metavar="SECONDS",
+                     help=f"progress line cadence on stderr, 0 disables "
+                          f"(default: {DEFAULT_HEARTBEAT_S:g})")
 
     status = commands.add_parser("status", help="show a sweep's journaled progress")
     status.add_argument("sweep", help="registered sweep name")
     status.add_argument("--journal-dir", type=Path, default=None)
+
+    report = commands.add_parser(
+        "report", help="per-job latency report from a sweep's journal"
+    )
+    report.add_argument("sweep", help="registered sweep name")
+    report.add_argument("--journal-dir", type=Path, default=None)
+    report.add_argument("--top", type=int, default=10,
+                        help="how many of the slowest jobs to list (default: 10)")
+    report.add_argument("--format", choices=("aligned", "markdown"), default="aligned")
     return parser
 
 
@@ -103,20 +154,42 @@ def _cmd_list(stream) -> int:
 def _cmd_run(args: argparse.Namespace, stream) -> int:
     entry = get_registered_sweep(args.sweep)
     sweep = entry.spec()
+    quiet = args.quiet or args.global_quiet
     cache = None if args.no_cache else ResultCache(root=args.cache_dir)
     journal_dir = None if args.no_journal else (args.journal_dir or default_journal_dir())
+    heartbeat = None if (quiet or args.heartbeat <= 0) else float(args.heartbeat)
+    if args.trace is not None:
+        enable_tracing()
+    if args.metrics is not None:
+        enable_metrics()
     runner = SweepRunner(
         executor=make_executor(args.workers),
         cache=cache,
         journal_dir=journal_dir,
         resume=not args.no_resume,
+        heartbeat_interval=heartbeat,
     )
     try:
         report: SweepReport = runner.run(sweep, shard=args.shard)
     except SweepExecutionError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    if not args.quiet:
+    finally:
+        # Export whatever was captured even when some jobs failed: a partial
+        # trace of a failing sweep is exactly when you want to look at one.
+        if args.trace is not None:
+            export_chrome_trace(args.trace)
+            disable_tracing()
+            if not quiet:
+                print(f"wrote trace {args.trace}", file=stream)
+        if args.metrics is not None:
+            from repro.obs import get_metrics
+
+            save_json(args.metrics, get_metrics().snapshot())
+            disable_metrics()
+            if not quiet:
+                print(f"wrote metrics {args.metrics}", file=stream)
+    if not quiet:
         print(report.describe(), file=stream)
     if report.complete:
         assembled = entry.assemble(sweep, report.results)
@@ -124,7 +197,7 @@ def _cmd_run(args: argparse.Namespace, stream) -> int:
         if args.output is not None:
             payload = [table.to_jsonable() for table in _tables_of(assembled)]
             save_json(args.output, payload[0] if len(payload) == 1 else payload)
-            if not args.quiet:
+            if not quiet:
                 print(f"wrote {args.output}", file=stream)
     else:
         done = len(sweep) - report.skipped
@@ -146,9 +219,79 @@ def _cmd_status(args: argparse.Namespace, stream) -> int:
     return 0
 
 
+def latency_tables(sweep, state, top: int = 10) -> List[Table]:
+    """Summarise a journal's per-job durations as (summary, slowest-jobs) tables.
+
+    Only *executed* durations enter the latency distribution — records tagged
+    ``source: cache`` were journal fills from the result cache, not work.
+    """
+    hashes = {job.spec_hash for job in sweep.jobs}
+    timed = [
+        (digest, duration)
+        for digest, duration in state.durations.items()
+        if digest in hashes and state.sources.get(digest) != "cache"
+    ]
+    summary = Table(
+        title=f"{sweep.name}: journaled job latency",
+        columns=["jobs", "timed", "cached", "failed", "total_s", "p50_s", "p95_s", "max_s"],
+    )
+    durations = np.asarray([duration for _, duration in timed], dtype=np.float64)
+    cached = sum(
+        1 for digest, source in state.sources.items()
+        if digest in hashes and source == "cache"
+    )
+    failed = sum(1 for digest in state.errors if digest in hashes)
+    if durations.size:
+        summary.add_row(
+            jobs=len(sweep),
+            timed=int(durations.size),
+            cached=cached,
+            failed=failed,
+            total_s=float(durations.sum()),
+            p50_s=float(np.percentile(durations, 50)),
+            p95_s=float(np.percentile(durations, 95)),
+            max_s=float(durations.max()),
+        )
+    else:
+        summary.add_row(jobs=len(sweep), timed=0, cached=cached, failed=failed)
+    slowest = Table(
+        title=f"{sweep.name}: slowest jobs",
+        columns=["job", "duration_s", "status"],
+    )
+    for digest, duration in sorted(timed, key=lambda item: -item[1])[: max(top, 0)]:
+        slowest.add_row(
+            job=state.job_ids.get(digest, digest[:12]),
+            duration_s=duration,
+            status="error" if digest in state.errors else "ok",
+        )
+    return [summary, slowest]
+
+
+def _cmd_report(args: argparse.Namespace, stream) -> int:
+    entry = get_registered_sweep(args.sweep)
+    sweep = entry.spec()
+    journal = Journal.for_sweep(sweep, args.journal_dir or default_journal_dir())
+    if not journal.path.exists():
+        print(f"no journal for sweep {args.sweep!r} at {journal.path}", file=stream)
+        return 1
+    state = journal.load()
+    tables = latency_tables(sweep, state, top=args.top)
+    if not state.durations:
+        print(
+            "journal has no per-job durations (written by an older version?); "
+            "re-run the sweep to collect timings",
+            file=stream,
+        )
+    _print_tables(tables, args.format, stream)
+    print(f"journal: {journal.path}", file=stream)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.verbose:
+        enable_console_logging(logging.DEBUG if args.verbose > 1 else logging.INFO)
     stream = sys.stdout
     try:
         if args.command == "list":
@@ -157,6 +300,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run(args, stream)
         if args.command == "status":
             return _cmd_status(args, stream)
+        if args.command == "report":
+            return _cmd_report(args, stream)
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -13,19 +13,33 @@ Fresh results are journaled and cached the moment they arrive, so an
 interrupt at any point loses at most the jobs currently in flight.  Runs
 whose :class:`~repro.runtime.jobs.ExecutionContext` carries live overrides
 are non-hermetic and skip both persistence layers.
+
+The engine is the merge point of the observability layer (:mod:`repro.obs`):
+when metrics or tracing are enabled in the parent process it asks the
+executor to capture a per-job delta, merges worker metrics snapshots into
+the parent registry and worker spans into the parent tracer, wraps its own
+phases (journal load, cache resolve, dispatch, per-job settle) in spans, and
+attaches the merged registry snapshot to the returned :class:`SweepReport`.
+Every resolution decision is also routed through the ``repro.runtime.engine``
+logger, and an optional :class:`~repro.obs.Heartbeat` emits a rate-limited
+progress line as jobs settle.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import Heartbeat, get_metrics, get_tracer, span
 from repro.runtime.cache import MISS, ResultCache
 from repro.runtime.executor import Executor, SerialExecutor
 from repro.runtime.jobs import ExecutionContext, SweepSpec
 from repro.runtime.journal import Journal
+from repro.utils.logging import get_logger
 from repro.utils.serialization import PathLike
+
+logger = get_logger("runtime.engine")
 
 
 class SweepExecutionError(RuntimeError):
@@ -55,6 +69,9 @@ class SweepReport:
     wall_time_s: float = 0.0
     journal_path: Optional[str] = None
     shard: Optional[Tuple[int, int]] = None
+    #: Merged metrics snapshot (parent + per-job worker deltas); None unless
+    #: metrics were enabled for the run.
+    metrics: Optional[Dict[str, Any]] = None
     _result_by_hash: dict = field(default_factory=dict, repr=False)
 
     @property
@@ -90,11 +107,15 @@ class SweepRunner:
         cache: Optional[ResultCache] = None,
         journal_dir: Optional[PathLike] = None,
         resume: bool = True,
+        heartbeat_interval: Optional[float] = None,
+        heartbeat_emit: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
         self.journal_dir = journal_dir
         self.resume = resume
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_emit = heartbeat_emit
 
     def _journal_for(self, sweep: SweepSpec, hermetic: bool) -> Optional[Journal]:
         if self.journal_dir is None or not hermetic:
@@ -115,6 +136,10 @@ class SweepRunner:
         """
         started = time.perf_counter()
         context = context if context is not None else ExecutionContext()
+        metrics = get_metrics()
+        tracer = get_tracer()
+        if (metrics.enabled or tracer is not None) and not context.observe:
+            context = replace(context, observe=True)
         shard = _parse_shard(shard)
         report = SweepReport(sweep=sweep, results=[None] * len(sweep), shard=shard)
         if shard is not None:
@@ -122,55 +147,113 @@ class SweepRunner:
         else:
             selected = set(range(len(sweep)))
         report.skipped = len(sweep) - len(selected)
+        heartbeat = None
+        if self.heartbeat_interval is not None:
+            heartbeat = Heartbeat(
+                total_jobs=len(selected),
+                interval_s=self.heartbeat_interval,
+                label=sweep.name,
+                emit=self.heartbeat_emit,
+            )
 
-        use_persistence = context.hermetic
-        journal = self._journal_for(sweep, use_persistence)
-        journaled: dict = {}
-        if journal is not None:
-            journal.record_header(sweep)
-            if self.resume:
-                journaled = journal.load().results
-        cache = self.cache if use_persistence else None
+        def pulse() -> None:
+            if heartbeat is not None:
+                heartbeat.update(
+                    report.resumed + report.cache_hits + report.executed,
+                    report.executed,
+                    report.cache_hits,
+                    report.resumed,
+                )
 
-        def settle(index: int, result: Any) -> None:
-            report.results[index] = result
-            report._result_by_hash[sweep.jobs[index].spec_hash] = result
+        root = span("sweep.run", sweep=sweep.name, jobs=len(sweep))
+        with root:
+            use_persistence = context.hermetic
+            journal = self._journal_for(sweep, use_persistence)
+            journaled: dict = {}
+            if journal is not None:
+                journal.record_header(sweep)
+                if self.resume:
+                    with span("engine.journal_load"):
+                        journaled = journal.load().results
+            cache = self.cache if use_persistence else None
 
-        pending = []
-        for index in sorted(selected):
-            spec = sweep.jobs[index]
-            if spec.spec_hash in journaled:
-                settle(index, journaled[spec.spec_hash])
-                report.resumed += 1
-                continue
-            if cache is not None:
-                cached = cache.get(spec)
-                if cached is not MISS:
-                    settle(index, cached)
-                    report.cache_hits += 1
-                    if journal is not None:
-                        journal.record_result(spec, cached)
-                    continue
-            pending.append((index, spec))
+            def settle(index: int, result: Any) -> None:
+                report.results[index] = result
+                report._result_by_hash[sweep.jobs[index].spec_hash] = result
 
-        failures: List[Tuple[str, str]] = []
-        for index, status, payload in self.executor.submit(pending, context):
-            spec = sweep.jobs[index]
-            if status == "ok":
-                settle(index, payload)
-                report.executed += 1
-                if cache is not None:
-                    cache.put(spec, payload)
-                if journal is not None:
-                    journal.record_result(spec, payload)
-            else:
-                failures.append((spec.job_id, str(payload)))
-                if journal is not None:
-                    journal.record_error(spec, str(payload))
+            pending = []
+            with span("engine.resolve", jobs=len(selected)) as resolve_span:
+                for index in sorted(selected):
+                    spec = sweep.jobs[index]
+                    if spec.spec_hash in journaled:
+                        settle(index, journaled[spec.spec_hash])
+                        report.resumed += 1
+                        logger.debug("job %s: resumed from journal", spec.job_id)
+                        pulse()
+                        continue
+                    if cache is not None:
+                        cached = cache.get(spec)
+                        if cached is not MISS:
+                            settle(index, cached)
+                            report.cache_hits += 1
+                            if journal is not None:
+                                journal.record_result(spec, cached, source="cache")
+                            logger.debug("job %s: result cache hit", spec.job_id)
+                            pulse()
+                            continue
+                    pending.append((index, spec))
+                resolve_span.set_attribute("resumed", report.resumed)
+                resolve_span.set_attribute("cache_hits", report.cache_hits)
+            if metrics.enabled:
+                metrics.counter("engine.jobs_resumed").inc(report.resumed)
+                metrics.counter("engine.jobs_cache_hit").inc(report.cache_hits)
 
-        report.wall_time_s = time.perf_counter() - started
-        if journal is not None:
-            report.journal_path = str(journal.path)
+            failures: List[Tuple[str, str]] = []
+            with span("engine.dispatch", jobs=len(pending), backend=self.executor.name):
+                for index, status, payload, obs in self.executor.submit(pending, context):
+                    spec = sweep.jobs[index]
+                    duration_s = obs.get("duration_s") if obs else None
+                    if obs:
+                        if metrics.enabled and obs.get("metrics") is not None:
+                            metrics.merge(obs["metrics"])
+                        if tracer is not None and obs.get("spans"):
+                            tracer.absorb(obs["spans"])
+                    if status == "ok":
+                        with span("job.settle", job=spec.job_id):
+                            settle(index, payload)
+                            report.executed += 1
+                            if cache is not None:
+                                cache.put(spec, payload)
+                            if journal is not None:
+                                journal.record_result(spec, payload, duration_s=duration_s)
+                        if metrics.enabled:
+                            metrics.counter("engine.jobs_executed").inc()
+                            if duration_s is not None:
+                                metrics.histogram("engine.job_duration_s").observe(duration_s)
+                        logger.debug(
+                            "job %s: executed in %.3fs",
+                            spec.job_id,
+                            duration_s if duration_s is not None else -1.0,
+                        )
+                    else:
+                        failures.append((spec.job_id, str(payload)))
+                        if journal is not None:
+                            journal.record_error(spec, str(payload), duration_s=duration_s)
+                        if metrics.enabled:
+                            metrics.counter("engine.jobs_failed").inc()
+                        logger.warning("job %s: failed\n%s", spec.job_id, payload)
+                    pulse()
+
+            report.wall_time_s = time.perf_counter() - started
+            if journal is not None:
+                report.journal_path = str(journal.path)
+            if metrics.enabled:
+                report.metrics = metrics.snapshot()
+            root.set_attribute("executed", report.executed)
+            root.set_attribute("cache_hits", report.cache_hits)
+            root.set_attribute("resumed", report.resumed)
+            root.set_attribute("failed", len(failures))
+        logger.info(report.describe())
         if failures:
             raise SweepExecutionError(sweep, failures)
         return report

@@ -1,9 +1,9 @@
 """Worker-pool execution backends.
 
 Both backends implement one interface — :meth:`Executor.submit` takes
-``(index, JobSpec)`` pairs and yields ``(index, status, payload)`` triples as
-jobs finish (possibly out of submission order) — so the engine above them is
-oblivious to *where* jobs run:
+``(index, JobSpec)`` pairs and yields ``(index, status, payload, obs)``
+quadruples as jobs finish (possibly out of submission order) — so the engine
+above them is oblivious to *where* jobs run:
 
 * :class:`SerialExecutor` runs jobs inline, in order.  It is the default for
   direct experiment-generator calls and the only backend usable when the
@@ -16,6 +16,14 @@ oblivious to *where* jobs run:
 Failures never tear down the pool mid-sweep: a runner exception is caught in
 the worker and reported as an ``"error"`` status so the engine can journal
 every completed job before raising.
+
+Every event's ``obs`` element is the job's observation delta from
+:class:`repro.obs.observe_job`: always the measured ``duration_s``, plus —
+when the context's ``observe`` flag is set — the metrics snapshot and span
+records the job produced while it ran.  The delta is plain JSON-able data,
+so it crosses the process boundary exactly like the result does, and the
+engine merges it into the parent registry/tracer regardless of which backend
+executed the job.
 """
 
 from __future__ import annotations
@@ -26,19 +34,23 @@ import traceback
 from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs import observe_job
 from repro.runtime.jobs import ExecutionContext, JobSpec, run_job
 
-#: (job index, "ok" | "error", result or error message)
-ExecutionEvent = Tuple[int, str, object]
+#: (job index, "ok" | "error", result or error message, observation delta)
+ExecutionEvent = Tuple[int, str, object, dict]
 
 IndexedJob = Tuple[int, JobSpec]
 
 
 def _execute(index: int, spec: JobSpec, context: ExecutionContext) -> ExecutionEvent:
+    watch = observe_job(spec.job_id, spec.kind, capture=context.observe)
     try:
-        return index, "ok", run_job(spec, context)
+        with watch:
+            result = run_job(spec, context)
+        return index, "ok", result, watch.delta()
     except Exception:  # noqa: BLE001 - reported to the engine, re-raised there
-        return index, "error", traceback.format_exc(limit=8)
+        return index, "error", traceback.format_exc(limit=8), watch.delta()
 
 
 class Executor:

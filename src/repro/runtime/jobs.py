@@ -43,9 +43,15 @@ class ExecutionContext:
     :class:`~repro.core.pipeline.MissionPipeline`).  They are invisible to the
     spec hash, so any run with overrides is treated as non-hermetic and is
     neither cached nor journaled.
+
+    ``observe`` asks the executor to capture a per-job observability delta
+    (metrics snapshot + span records, see :mod:`repro.obs`) next to every
+    result.  It does not influence the job's outputs, so it has no bearing on
+    hermeticity or the spec hash.
     """
 
     overrides: Dict[str, Any] = field(default_factory=dict)
+    observe: bool = False
 
     @property
     def hermetic(self) -> bool:

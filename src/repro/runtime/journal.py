@@ -6,10 +6,18 @@ runs of the same sweep all converge on the same journal:
 
 ``{"type": "sweep", ...}``
     Header written once per file: sweep name/hash, job count, code version.
-``{"type": "result", "job": <hash>, "result": ...}``
+``{"type": "result", "job": <hash>, "result": ..., "ts": ..., "duration_s": ...}``
     One record per completed job, written the moment the job finishes.
-``{"type": "error", "job": <hash>, "error": ...}``
+``{"type": "error", "job": <hash>, "error": ..., "ts": ..., "duration_s": ...}``
     A failed job; failures are re-attempted on the next run.
+
+Result/error records carry a wall-clock timestamp (``ts``, seconds since the
+epoch) and — when the engine measured one — the job's execution time on its
+worker (``duration_s``, monotonic).  Both fields are additive: journals
+written before they existed replay exactly as before (resume only reads
+``job``/``result``), and old readers ignore the extra keys.  Records whose
+result came from the result cache are tagged ``"source": "cache"`` so the
+latency report can separate real executions from cache fills.
 
 Resume is simply "replay the journal before executing": completed jobs are
 reloaded from their records and skipped.  Records for jobs no longer in the
@@ -19,6 +27,7 @@ sweep (stale code) are ignored by virtue of content-hash addressing.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -41,11 +50,19 @@ def default_journal_dir() -> Path:
 
 @dataclass
 class JournalState:
-    """Everything a resume needs: per-job results and errors keyed by hash."""
+    """Everything a resume needs: per-job results and errors keyed by hash.
+
+    ``durations``/``job_ids``/``sources`` mirror the optional timing fields of
+    newer journal records (absent entries mean the record predates them); they
+    feed the ``status`` durations summary and the ``report`` latency table.
+    """
 
     header: Optional[Dict[str, Any]] = None
     results: Dict[str, Any] = field(default_factory=dict)
     errors: Dict[str, str] = field(default_factory=dict)
+    durations: Dict[str, float] = field(default_factory=dict)
+    job_ids: Dict[str, str] = field(default_factory=dict)
+    sources: Dict[str, str] = field(default_factory=dict)
 
     @property
     def completed(self) -> int:
@@ -54,13 +71,21 @@ class JournalState:
 
 @dataclass(frozen=True)
 class SweepStatus:
-    """Progress summary of one sweep's journal (the CLI ``status`` view)."""
+    """Progress summary of one sweep's journal (the CLI ``status`` view).
+
+    The duration fields summarise the journal's per-record ``duration_s``
+    values; they are ``None`` when the journal predates job timing (or nothing
+    has executed yet), and the textual summary degrades gracefully then.
+    """
 
     name: str
     sweep_hash: str
     total_jobs: int
     completed: int
     failed: int
+    total_duration_s: Optional[float] = None
+    slowest_job_s: Optional[float] = None
+    slowest_job_id: Optional[str] = None
 
     @property
     def pending(self) -> int:
@@ -73,7 +98,13 @@ class SweepStatus:
     def describe(self) -> str:
         state = "complete" if self.complete else f"{self.pending} pending"
         failed = f", {self.failed} failed last attempt" if self.failed else ""
-        return f"{self.name}: {self.completed}/{self.total_jobs} jobs done ({state}{failed})"
+        line = f"{self.name}: {self.completed}/{self.total_jobs} jobs done ({state}{failed})"
+        if self.total_duration_s is not None:
+            line += f"; {self.total_duration_s:.2f}s job time"
+            if self.slowest_job_s is not None:
+                slowest = self.slowest_job_id or "?"
+                line += f", slowest {slowest} at {self.slowest_job_s:.2f}s"
+        return line
 
 
 class Journal:
@@ -114,17 +145,39 @@ class Journal:
             },
         )
 
-    def record_result(self, spec: JobSpec, result: Any) -> None:
-        append_jsonl(
-            self.path,
-            {"type": "result", "job": spec.spec_hash, "job_id": spec.job_id, "result": result},
-        )
+    def record_result(
+        self,
+        spec: JobSpec,
+        result: Any,
+        duration_s: Optional[float] = None,
+        source: Optional[str] = None,
+    ) -> None:
+        record = {
+            "type": "result",
+            "job": spec.spec_hash,
+            "job_id": spec.job_id,
+            "result": result,
+            "ts": time.time(),
+        }
+        if duration_s is not None:
+            record["duration_s"] = float(duration_s)
+        if source is not None:
+            record["source"] = source
+        append_jsonl(self.path, record)
 
-    def record_error(self, spec: JobSpec, error: str) -> None:
-        append_jsonl(
-            self.path,
-            {"type": "error", "job": spec.spec_hash, "job_id": spec.job_id, "error": error},
-        )
+    def record_error(
+        self, spec: JobSpec, error: str, duration_s: Optional[float] = None
+    ) -> None:
+        record = {
+            "type": "error",
+            "job": spec.spec_hash,
+            "job_id": spec.job_id,
+            "error": error,
+            "ts": time.time(),
+        }
+        if duration_s is not None:
+            record["duration_s"] = float(duration_s)
+        append_jsonl(self.path, record)
 
     # ------------------------------------------------------------------ reading
     def load(self) -> JournalState:
@@ -139,12 +192,46 @@ class Journal:
             if kind == "sweep" and state.header is None:
                 state.header = record
             elif kind == "result":
-                state.results[record["job"]] = record.get("result")
-                state.errors.pop(record["job"], None)
+                digest = record["job"]
+                state.results[digest] = record.get("result")
+                state.errors.pop(digest, None)
+                self._load_timing(state, digest, record)
             elif kind == "error":
-                state.errors[record["job"]] = str(record.get("error", ""))
-                state.results.pop(record["job"], None)
+                digest = record["job"]
+                state.errors[digest] = str(record.get("error", ""))
+                state.results.pop(digest, None)
+                self._load_timing(state, digest, record)
         return state
+
+    @staticmethod
+    def _load_timing(state: JournalState, digest: str, record: Dict[str, Any]) -> None:
+        """Fold one record's optional timing/provenance fields into the state."""
+        if "job_id" in record:
+            state.job_ids[digest] = str(record["job_id"])
+        duration = record.get("duration_s")
+        if duration is not None:
+            state.durations[digest] = float(duration)
+        else:
+            state.durations.pop(digest, None)
+        source = record.get("source")
+        if source is not None:
+            state.sources[digest] = str(source)
+        else:
+            state.sources.pop(digest, None)
+
+    @staticmethod
+    def _duration_summary(state: JournalState, hashes=None):
+        """(total, slowest, slowest_job_id) over the journaled durations."""
+        items = [
+            (digest, duration)
+            for digest, duration in state.durations.items()
+            if hashes is None or digest in hashes
+        ]
+        if not items:
+            return None, None, None
+        slowest_digest, slowest = max(items, key=lambda item: item[1])
+        total = sum(duration for _, duration in items)
+        return total, slowest, state.job_ids.get(slowest_digest, slowest_digest[:12])
 
     def status(self, sweep: Optional[SweepSpec] = None) -> SweepStatus:
         """Progress against ``sweep`` (or against the journal's own header)."""
@@ -153,18 +240,26 @@ class Journal:
             hashes = {job.spec_hash for job in sweep.jobs}
             completed = sum(1 for digest in state.results if digest in hashes)
             failed = sum(1 for digest in state.errors if digest in hashes)
+            total_s, slowest_s, slowest_id = self._duration_summary(state, hashes)
             return SweepStatus(
                 name=sweep.name,
                 sweep_hash=sweep.sweep_hash,
                 total_jobs=len(sweep),
                 completed=completed,
                 failed=failed,
+                total_duration_s=total_s,
+                slowest_job_s=slowest_s,
+                slowest_job_id=slowest_id,
             )
         header = state.header or {}
+        total_s, slowest_s, slowest_id = self._duration_summary(state)
         return SweepStatus(
             name=str(header.get("name", self.path.stem)),
             sweep_hash=str(header.get("sweep_hash", "")),
             total_jobs=int(header.get("total_jobs", state.completed)),
             completed=state.completed,
             failed=len(state.errors),
+            total_duration_s=total_s,
+            slowest_job_s=slowest_s,
+            slowest_job_id=slowest_id,
         )

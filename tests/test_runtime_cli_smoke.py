@@ -8,9 +8,11 @@ trains its reduced policies through the lockstep batched collection core.
 """
 
 import json
+import re
 
 import pytest
 
+from repro.obs import chrome_trace_to_spans
 from repro.runtime.cli import main
 from repro.runtime.journal import Journal
 from repro.runtime.registry import get_registered_sweep
@@ -48,6 +50,106 @@ class TestGeneralizationRolloutsCliSmoke:
         journal = Journal.for_sweep(sweep, tmp_path / "journals")
         status = journal.status(sweep)
         assert status.completed == 4
+
+    def test_slice_with_trace_and_metrics_through_workers(self, tmp_path, capsys):
+        """Acceptance: a journaled slice over worker processes exports a
+        Chrome trace whose root span covers >= 95% of the wall time, plus a
+        merged metrics snapshot carrying the workers' per-job counters."""
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        # Shard 1/12 selects BER > 0 jobs, so evaluation also exercises the
+        # instrumented bit-error injector.
+        exit_code = main(
+            [
+                "run",
+                "generalization-rollouts",
+                "--shard",
+                "1/12",
+                "--workers",
+                "2",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--journal-dir",
+                str(tmp_path / "journals"),
+                "--format",
+                "none",
+                "--trace",
+                str(trace_path),
+                "--metrics",
+                str(metrics_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert f"wrote trace {trace_path}" in output
+        assert f"wrote metrics {metrics_path}" in output
+
+        spans = chrome_trace_to_spans(json.loads(trace_path.read_text()))
+        by_name = {}
+        for record in spans:
+            by_name.setdefault(record["name"], []).append(record)
+        assert len(by_name["job.execute"]) == 4
+        # The 4 jobs ran on worker processes distinct from the parent.
+        parent_pid = by_name["sweep.run"][0]["pid"]
+        assert all(r["pid"] != parent_pid for r in by_name["job.execute"])
+        # Root span coverage of the reported wall time (the acceptance gate).
+        wall_time_s = float(re.search(r"in (\d+\.\d+)s", output).group(1))
+        root_s = by_name["sweep.run"][0]["dur_ns"] / 1e9
+        assert root_s >= 0.95 * wall_time_s
+
+        snapshot = json.loads(metrics_path.read_text())
+        counters = snapshot["counters"]
+        assert counters["engine.jobs_executed"] == 4
+        assert counters["env.steps"] > 0          # batched rollout instrumentation
+        assert counters["env.episodes"] > 0       # lane feed instrumentation
+        assert counters["train.env_steps"] > 0    # lockstep collector instrumentation
+        assert counters["faults.maps_applied"] > 0  # bit-error injector instrumentation
+        assert snapshot["histograms"]["engine.job_duration_s"]["count"] == 4
+
+    def test_report_command_summarises_journaled_slice(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "generalization-rollouts",
+                    "--shard",
+                    "3/12",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--journal-dir",
+                    str(tmp_path / "journals"),
+                    "--format",
+                    "none",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "report",
+                    "generalization-rollouts",
+                    "--journal-dir",
+                    str(tmp_path / "journals"),
+                    "--top",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "journaled job latency" in output
+        assert "p95_s" in output
+        assert "slowest jobs" in output
+
+    def test_report_without_journal_fails_cleanly(self, tmp_path, capsys):
+        assert (
+            main(["report", "generalization-rollouts", "--journal-dir", str(tmp_path)])
+            == 1
+        )
+        assert "no journal" in capsys.readouterr().out
 
     def test_status_command_reports_journaled_slice(self, tmp_path, capsys):
         assert (
