@@ -99,6 +99,50 @@ def test_bench_training_batched_b64(benchmark):
     print(f"\nbatched B=64: {trainer.history.total_steps} env steps")
 
 
+def _gradient_bound_config(train_lanes: int) -> DqnConfig:
+    # Gradient-bound cadence: one batch-64 gradient step per transition.  The
+    # lockstep-collection win largely disappears here because the gradient
+    # arithmetic (path-independent) dominates; the complementary backend
+    # benchmark (benchmarks/test_bench_backend.py) attacks this regime by
+    # swapping the compute backend instead.
+    return DqnConfig(
+        batch_size=64,
+        buffer_capacity=8000,
+        learning_starts=128,
+        train_frequency=1,
+        target_update_interval=250,
+        epsilon_schedule=LinearDecay(start=1.0, end=0.05, decay_steps=1500),
+        train_lanes=train_lanes,
+    )
+
+
+def _train_gradient_bound(train_lanes: int, episodes: int, serial: bool = False) -> DqnTrainer:
+    config = FAST_PROFILE.navigation_for_density(ObstacleDensity.SPARSE)
+    trainer = DqnTrainer(
+        NavigationEnv(config, rng=5),
+        policy_spec=mlp((32, 32)),
+        config=_gradient_bound_config(train_lanes),
+        rng=9,
+    )
+    if serial:
+        trainer.train_serial(episodes)
+    else:
+        trainer.train(episodes)
+    return trainer
+
+
+@pytest.mark.benchmark(group="dqn-training-gradient-bound")
+def test_bench_gradient_bound_serial(benchmark):
+    trainer = benchmark.pedantic(_train_gradient_bound, args=(1, 12, True), rounds=3, iterations=1)
+    print(f"\ngradient-bound serial: {trainer.history.gradient_steps} gradient steps")
+
+
+@pytest.mark.benchmark(group="dqn-training-gradient-bound")
+def test_bench_gradient_bound_batched_b64(benchmark):
+    trainer = benchmark.pedantic(_train_gradient_bound, args=(64, 48), rounds=3, iterations=1)
+    print(f"\ngradient-bound B=64: {trainer.history.gradient_steps} gradient steps")
+
+
 def test_batched_training_speedup():
     """Acceptance gate: >= 3x env-steps/sec at B >= 8 over the serial trainer."""
 

@@ -45,6 +45,9 @@ setup(
     install_requires=["numpy>=1.21"],
     extras_require={
         "test": ["pytest>=7", "pytest-benchmark>=4", "hypothesis>=6"],
+        # Optional compute backend (repro.nn.backend): lazily imported, the
+        # numpy-only install never pays for it.
+        "torch": ["torch>=2"],
     },
     entry_points={
         "console_scripts": [

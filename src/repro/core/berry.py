@@ -177,7 +177,7 @@ class BerryTrainer(DqnTrainer):
         scale = 0.5 if self.berry.gradient_combination == "mean" else 1.0
         if scale != 1.0:
             for parameter in self.q_network.parameters():
-                parameter.grad *= scale
+                self.backend.multiply(parameter.grad, scale, out=parameter.grad)
         self.q_network.add_gradients(perturbed_q.gradients(), scale=scale)
         return 0.5 * (clean_loss + perturbed_loss)
 
@@ -187,7 +187,7 @@ class BerryTrainer(DqnTrainer):
         if self.berry.weight_clip is not None:
             clip = self.berry.weight_clip
             for parameter in self.q_network.parameters():
-                np.clip(parameter.data, -clip, clip, out=parameter.data)
+                self.backend.clip(parameter.data, -clip, clip, out=parameter.data)
         return loss_value
 
     # ------------------------------------------------------------------ deployment views

@@ -21,6 +21,10 @@ class ShapeError(ReproError):
     """A tensor/array did not have the shape a layer or model expected."""
 
 
+class BackendError(ReproError):
+    """A compute backend was unknown, unavailable or used inconsistently."""
+
+
 class QuantizationError(ReproError):
     """Quantization or dequantization was asked to do something impossible."""
 

@@ -173,6 +173,7 @@ def generalization_rollout_sweep_spec(
     num_fault_maps: int = 4,
     platform: str = "crazyflie",
     train_lanes: int = 8,
+    backend: Optional[str] = None,
 ) -> SweepSpec:
     """*Measured* policy success across generated world families.
 
@@ -190,22 +191,37 @@ def generalization_rollout_sweep_spec(
     60 / 8) at comparable wall-clock.  ``train_lanes`` is part of the job
     params — and therefore of the spec hash — because the lane count
     determines the exploration stream layout and hence the trained weights.
+
+    ``backend`` selects the compute backend the policy trains on
+    (:mod:`repro.nn.backend`); ``None`` resolves the process-wide default
+    (``repro-runtime run --backend`` / ``REPRO_BACKEND``).  ``"numpy"`` is
+    omitted from the job params so existing cached spec hashes stay valid;
+    any other backend is recorded in the spec — and therefore in its hash —
+    because non-numpy backends only guarantee numerical (not bitwise)
+    agreement.
     """
+    from repro.nn.backend import default_backend_name
+
+    selected = default_backend_name() if backend is None else str(backend)
+
+    def _params(family: str, params: Mapping[str, Any], seed: int, ber: float) -> Dict[str, Any]:
+        job_params: Dict[str, Any] = {
+            "world": WorldSpec(family=family, params=dict(params), seed=int(seed)).to_jsonable(),
+            "ber_percent": float(ber),
+            "num_episodes": int(num_episodes),
+            "training_episodes": int(training_episodes),
+            "hidden_units": [int(units) for units in hidden_units],
+            "policy_seed": int(policy_seed),
+            "num_fault_maps": int(num_fault_maps),
+            "platform": str(platform),
+            "train_lanes": int(train_lanes),
+        }
+        if selected != "numpy":
+            job_params["backend"] = selected
+        return job_params
+
     jobs = tuple(
-        JobSpec(
-            kind="rollout.generalized",
-            params={
-                "world": WorldSpec(family=family, params=dict(params), seed=int(seed)).to_jsonable(),
-                "ber_percent": float(ber),
-                "num_episodes": int(num_episodes),
-                "training_episodes": int(training_episodes),
-                "hidden_units": [int(units) for units in hidden_units],
-                "policy_seed": int(policy_seed),
-                "num_fault_maps": int(num_fault_maps),
-                "platform": str(platform),
-                "train_lanes": int(train_lanes),
-            },
-        )
+        JobSpec(kind="rollout.generalized", params=_params(family, params, seed, ber))
         for family, params in presets
         for seed in seeds
         for ber in ber_levels
@@ -268,6 +284,8 @@ def _run_rollout_generalized(spec: JobSpec, context: ExecutionContext) -> Dict[s
             epsilon_schedule=LinearDecay(start=1.0, end=0.08, decay_steps=1200),
             # Older cached specs predate batched collection: default serial.
             train_lanes=int(params.get("train_lanes", 1)),
+            # Older cached specs predate pluggable backends: default numpy.
+            backend=str(params.get("backend", "numpy")),
         ),
         rng=int(params["policy_seed"]) + spec.seed,
     )

@@ -64,6 +64,9 @@ def _fast_dqn() -> DqnConfig:
         train_frequency=2,
         target_update_interval=150,
         epsilon_schedule=LinearDecay(start=1.0, end=0.05, decay_steps=2500),
+        # Collect experience on 8 lockstep lanes (PR 5 batched core): same
+        # gradient-step cadence, ~an order fewer python-level env steps.
+        train_lanes=8,
     )
 
 

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import FaultModelError
 from repro.faults.sram import SramGeometry
+from repro.nn.backend import ArrayBackend, NUMPY_BACKEND
 from repro.utils.rng import SeedLike, as_generator, choice_without_replacement
 
 
@@ -192,24 +193,32 @@ class FaultMap:
 
     # ------------------------------------------------------------------ application
     def apply_to_words(
-        self, words: np.ndarray, bits_per_word: int, bit_offset: int = 0
+        self,
+        words: np.ndarray,
+        bits_per_word: int,
+        bit_offset: int = 0,
+        backend: Optional[ArrayBackend] = None,
     ) -> np.ndarray:
         """Corrupt a flat array of unsigned words stored at ``bit_offset`` in the memory.
 
         ``words`` is a flat array of unsigned integers, each occupying
         ``bits_per_word`` consecutive bit cells (LSB first).  Returns a
-        corrupted copy; the input is not modified.
+        corrupted copy (a ``backend`` array; numpy by default); the input is
+        not modified.  Fault-cell selection stays on numpy (the map itself is
+        numpy and tiny); only the word-array copy and the scatter application
+        run on the backend.
         """
         if bits_per_word <= 0:
             raise FaultModelError(f"bits_per_word must be positive, got {bits_per_word}")
-        words = np.asarray(words, dtype=np.int64).copy()
-        total_bits = words.size * bits_per_word
+        be = backend if backend is not None else NUMPY_BACKEND
+        words = be.array(words, "int64")
+        total_bits = be.numel(words) * bits_per_word
         if bit_offset < 0 or bit_offset + total_bits > self.memory_bits:
             raise FaultModelError(
                 f"word range [{bit_offset}, {bit_offset + total_bits}) does not fit in "
                 f"memory of {self.memory_bits} bits"
             )
-        if self.num_faults == 0 or words.size == 0:
+        if self.num_faults == 0 or be.numel(words) == 0:
             return words
         in_range = (self.indices >= bit_offset) & (self.indices < bit_offset + total_bits)
         if not np.any(in_range):
@@ -223,13 +232,15 @@ class FaultMap:
         flip = kinds == int(FaultKind.FLIP)
         stuck0 = kinds == int(FaultKind.STUCK_AT_0)
         stuck1 = kinds == int(FaultKind.STUCK_AT_1)
-        # Using ufunc.at handles several faults landing in the same word.
+        # The *_at scatter ops handle several faults landing in the same word.
         if np.any(flip):
-            np.bitwise_xor.at(words, word_index[flip], masks[flip])
+            be.bitwise_xor_at(words, be.from_numpy(word_index[flip]), be.from_numpy(masks[flip]))
         if np.any(stuck0):
-            np.bitwise_and.at(words, word_index[stuck0], ~masks[stuck0])
+            be.bitwise_and_at(
+                words, be.from_numpy(word_index[stuck0]), be.from_numpy(~masks[stuck0])
+            )
         if np.any(stuck1):
-            np.bitwise_or.at(words, word_index[stuck1], masks[stuck1])
+            be.bitwise_or_at(words, be.from_numpy(word_index[stuck1]), be.from_numpy(masks[stuck1]))
         return words
 
     def restrict(self, bit_offset: int, num_bits: int) -> "FaultMap":

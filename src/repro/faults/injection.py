@@ -8,34 +8,30 @@ pass.  :class:`BitErrorInjector` implements exactly that pipeline; the memory
 layout of the parameters (which bit cell holds which weight bit) is fixed by
 :class:`MemoryLayout` so that a *persistent* fault map hits the same weights
 every time, as it does on real silicon.
+
+The quantization scale search and the word-level corruption — the two profiled
+hot paths of the operator — run on a pluggable
+:class:`~repro.nn.backend.ArrayBackend` (``backend=`` on the injector, default
+the process-wide selection); flipped-bit accounting uses the backend's
+vectorised ``popcount`` instead of a per-word python loop.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
 
 from repro.errors import FaultModelError
 from repro.faults.fault_map import FaultMap
+from repro.nn.backend import ArrayBackend, resolve_backend
 from repro.nn.network import Sequential
 from repro.obs import get_metrics, span
 from repro.quant.fixed_point import QuantizationConfig, quantize
 from repro.quant.qtensor import QuantizedTensor
 from repro.utils.rng import SeedLike, as_generator
-
-
-def _popcount(values: np.ndarray) -> int:
-    """Total set bits across ``values`` (any unsigned integer dtype)."""
-    values = values.astype(np.uint64, copy=True)
-    total = 0
-    one = np.uint64(1)
-    while values.any():
-        total += int(np.count_nonzero(values & one))
-        values >>= one
-    return total
 
 
 @dataclass(frozen=True)
@@ -69,7 +65,7 @@ class MemoryLayout:
 
     @classmethod
     def from_network(cls, network: Sequential, bits_per_value: int = 8) -> "MemoryLayout":
-        shapes = {name: param.data.shape for name, param in network.named_parameters().items()}
+        shapes = {name: param.shape for name, param in network.named_parameters().items()}
         return cls(shapes, bits_per_value=bits_per_value)
 
     @classmethod
@@ -98,6 +94,7 @@ class BitErrorInjector:
         self,
         layout: MemoryLayout,
         quantization: QuantizationConfig = QuantizationConfig(),
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
         if layout.bits_per_value != quantization.bits:
             raise FaultModelError(
@@ -106,13 +103,19 @@ class BitErrorInjector:
             )
         self.layout = layout
         self.quantization = quantization
+        self.backend = resolve_backend(backend)
 
     # ------------------------------------------------------------------ construction helpers
     @classmethod
     def for_network(
-        cls, network: Sequential, quantization: QuantizationConfig = QuantizationConfig()
+        cls,
+        network: Sequential,
+        quantization: QuantizationConfig = QuantizationConfig(),
+        backend: "ArrayBackend | str | None" = None,
     ) -> "BitErrorInjector":
-        return cls(MemoryLayout.from_network(network, quantization.bits), quantization)
+        """Injector for ``network``, sharing its compute backend unless overridden."""
+        compute = network.backend if backend is None else resolve_backend(backend)
+        return cls(MemoryLayout.from_network(network, quantization.bits), quantization, compute)
 
     @property
     def memory_bits(self) -> int:
@@ -134,7 +137,9 @@ class BitErrorInjector:
         quantized: Dict[str, QuantizedTensor] = {}
         for name, values in state.items():
             self.layout.segment(name)  # validate the tensor has a placement
-            quantized[name] = quantize(np.asarray(values, dtype=np.float64), self.quantization)
+            quantized[name] = quantize(
+                np.asarray(values, dtype=np.float64), self.quantization, backend=self.backend
+            )
         return quantized
 
     def perturb_quantized_state(
@@ -151,6 +156,7 @@ class BitErrorInjector:
                 f"fault map covers {fault_map.memory_bits} bits but the parameters occupy "
                 f"{self.layout.total_bits} bits"
             )
+        be = self.backend
         metrics = get_metrics()
         started = time.perf_counter() if metrics.enabled else 0.0
         flipped = 0
@@ -160,9 +166,10 @@ class BitErrorInjector:
                 segment = self.layout.segment(name)
                 corrupted = self._corrupt_tensor(tensor, fault_map, segment.bit_offset)
                 if metrics.enabled:
-                    flipped += _popcount(
-                        np.bitwise_xor(
-                            tensor.to_unsigned().ravel(), corrupted.to_unsigned().ravel()
+                    flipped += be.popcount(
+                        be.bitwise_xor(
+                            be.from_numpy(tensor.to_unsigned().ravel()),
+                            be.from_numpy(corrupted.to_unsigned().ravel()),
                         )
                     )
                 perturbed[name] = corrupted.dequantize().reshape(segment.shape)
@@ -198,9 +205,13 @@ class BitErrorInjector:
         self, tensor: QuantizedTensor, fault_map: FaultMap, bit_offset: int
     ) -> QuantizedTensor:
         words = tensor.to_unsigned().ravel()
-        corrupted = fault_map.apply_to_words(words, tensor.bits, bit_offset)
+        corrupted = fault_map.apply_to_words(
+            words, tensor.bits, bit_offset, backend=self.backend
+        )
         return QuantizedTensor.from_unsigned(
-            corrupted.reshape(tensor.shape), scale=tensor.scale, bits=tensor.bits
+            self.backend.to_numpy(corrupted).reshape(tensor.shape),
+            scale=tensor.scale,
+            bits=tensor.bits,
         )
 
     # ------------------------------------------------------------------ measurement helpers
@@ -212,14 +223,19 @@ class BitErrorInjector:
         Stuck-at faults only corrupt a bit when the stored value differs from
         the stuck value, so this is typically about half of ``num_faults``.
         """
+        be = self.backend
         flipped = 0
         for name, values in state.items():
             segment = self.layout.segment(name)
-            tensor = quantize(np.asarray(values, dtype=np.float64), self.quantization)
+            tensor = quantize(
+                np.asarray(values, dtype=np.float64), self.quantization, backend=be
+            )
             words = tensor.to_unsigned().ravel()
-            corrupted = fault_map.apply_to_words(words, tensor.bits, segment.bit_offset)
-            difference = np.bitwise_xor(words, corrupted)
-            flipped += int(sum(bin(int(word)).count("1") for word in difference[difference != 0]))
+            corrupted = fault_map.apply_to_words(
+                words, tensor.bits, segment.bit_offset, backend=be
+            )
+            difference = be.bitwise_xor(be.from_numpy(words), corrupted)
+            flipped += be.popcount(difference)
         return flipped
 
 

@@ -9,8 +9,19 @@ numpy arrays so the whole reproduction runs without external ML frameworks:
 * :mod:`repro.nn.loss` — MSE and Huber losses
 * :mod:`repro.nn.optim` — SGD, Momentum, RMSProp, Adam
 * :mod:`repro.nn.policies` — the paper's C3F2 / C5F4 policy architectures
+* :mod:`repro.nn.backend` — pluggable compute backends (numpy default,
+  optional lazily-imported torch) the whole stack routes its arithmetic
+  through
 """
 
+from repro.nn.backend import (
+    ArrayBackend,
+    backend_available,
+    default_backend_name,
+    get_backend,
+    registered_backends,
+    set_default_backend,
+)
 from repro.nn.layers import (
     Conv2d,
     Flatten,
@@ -26,6 +37,12 @@ from repro.nn.optim import SGD, Adam, RMSProp
 from repro.nn.policies import PolicySpec, build_policy, c3f2, c5f4, mlp
 
 __all__ = [
+    "ArrayBackend",
+    "backend_available",
+    "default_backend_name",
+    "get_backend",
+    "registered_backends",
+    "set_default_backend",
     "Parameter",
     "Linear",
     "Conv2d",

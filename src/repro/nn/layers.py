@@ -4,52 +4,59 @@ Each layer caches whatever it needs from the forward pass and exposes
 ``backward(grad_output)`` returning the gradient with respect to its input
 while accumulating parameter gradients into :class:`Parameter.grad`.
 
-The convolution is implemented with im2col/col2im which keeps the code
-readable and fast enough (numpy matmul does the heavy lifting) for the small
-policy networks used in the paper (C3F2, C5F4).
+All array arithmetic goes through a pluggable
+:class:`~repro.nn.backend.ArrayBackend` (``backend=`` on every constructor,
+defaulting to the process-wide selection).  The numpy backend reproduces the
+direct-numpy implementation bitwise; the torch backend trades that for faster
+gradient-bound training.  The convolution is implemented with the backend's
+im2col/col2im, which keeps the code readable while letting each backend bring
+its fastest patch-extraction kernel (numpy strided windows, torch unfold).
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import List, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError, ShapeError
 from repro.nn import init as initializers
+from repro.nn.backend import ArrayBackend, resolve_backend as _resolve_backend
 from repro.utils.rng import SeedLike, as_generator
+
+BackendLike = Union[ArrayBackend, str, None]
 
 
 class Parameter:
     """A trainable array together with its accumulated gradient."""
 
-    def __init__(self, data: np.ndarray, name: str = "") -> None:
-        self.data = np.asarray(data, dtype=np.float64)
-        self.grad = np.zeros_like(self.data)
+    def __init__(self, data, name: str = "", backend: BackendLike = None) -> None:
+        self.backend = _resolve_backend(backend)
+        self.data = self.backend.asarray(data, "float64")
+        self.grad = self.backend.zeros_like(self.data)
         self.name = name
 
     @property
     def shape(self) -> Tuple[int, ...]:
-        return self.data.shape
+        return tuple(self.data.shape)
 
     @property
     def size(self) -> int:
-        return int(self.data.size)
+        return self.backend.numel(self.data)
 
     def zero_grad(self) -> None:
-        self.grad.fill(0.0)
+        self.backend.fill_(self.grad, 0.0)
 
     def copy_(self, other: "Parameter") -> None:
         """In-place copy of another parameter's values (used for target-network sync)."""
-        if other.data.shape != self.data.shape:
+        if tuple(other.data.shape) != tuple(self.data.shape):
             raise ShapeError(
-                f"cannot copy parameter of shape {other.data.shape} into {self.data.shape}"
+                f"cannot copy parameter of shape {tuple(other.data.shape)} "
+                f"into {tuple(self.data.shape)}"
             )
-        np.copyto(self.data, other.data)
+        self.backend.copyto_(self.data, other.data)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+        return f"Parameter(name={self.name!r}, shape={self.shape})"
 
 
 class Layer:
@@ -58,13 +65,14 @@ class Layer:
     #: Human-readable layer kind used by the accelerator cost model.
     kind: str = "generic"
 
-    def __init__(self) -> None:
+    def __init__(self, backend: BackendLike = None) -> None:
         self.name = self.__class__.__name__
+        self.backend = _resolve_backend(backend)
 
-    def forward(self, inputs: np.ndarray) -> np.ndarray:
+    def forward(self, inputs):
         raise NotImplementedError
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(self, grad_output):
         raise NotImplementedError
 
     def parameters(self) -> List[Parameter]:
@@ -74,7 +82,7 @@ class Layer:
         """Shape of the per-sample output given a per-sample input shape."""
         raise NotImplementedError
 
-    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+    def __call__(self, inputs):
         return self.forward(inputs)
 
     def __repr__(self) -> str:
@@ -93,8 +101,9 @@ class Linear(Layer):
         bias: bool = True,
         rng: SeedLike = None,
         name: str = "linear",
+        backend: BackendLike = None,
     ) -> None:
-        super().__init__()
+        super().__init__(backend)
         if in_features <= 0 or out_features <= 0:
             raise ConfigurationError(
                 f"Linear features must be positive, got in={in_features}, out={out_features}"
@@ -106,35 +115,44 @@ class Linear(Layer):
         self.weight = Parameter(
             initializers.kaiming_uniform((out_features, in_features), generator),
             name=f"{name}.weight",
+            backend=self.backend,
         )
         self.bias: Optional[Parameter] = None
         if bias:
             self.bias = Parameter(
                 initializers.uniform_bias((out_features,), in_features, generator),
                 name=f"{name}.bias",
+                backend=self.backend,
             )
-        self._input: Optional[np.ndarray] = None
+        self._input = None
 
-    def forward(self, inputs: np.ndarray) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+    def forward(self, inputs):
+        be = self.backend
+        inputs = be.asarray(inputs, "float64")
         if inputs.ndim != 2 or inputs.shape[1] != self.in_features:
             raise ShapeError(
-                f"{self.name}: expected input of shape (N, {self.in_features}), got {inputs.shape}"
+                f"{self.name}: expected input of shape (N, {self.in_features}), "
+                f"got {tuple(inputs.shape)}"
             )
         self._input = inputs
-        output = inputs @ self.weight.data.T
+        output = be.matmul(inputs, be.transpose(self.weight.data))
         if self.bias is not None:
-            output = output + self.bias.data
+            output = be.add(output, self.bias.data)
         return output
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(self, grad_output):
         if self._input is None:
             raise ShapeError(f"{self.name}: backward called before forward")
-        grad_output = np.asarray(grad_output, dtype=np.float64)
-        self.weight.grad += grad_output.T @ self._input
+        be = self.backend
+        grad_output = be.asarray(grad_output, "float64")
+        be.add(
+            self.weight.grad,
+            be.matmul(be.transpose(grad_output), self._input),
+            out=self.weight.grad,
+        )
         if self.bias is not None:
-            self.bias.grad += grad_output.sum(axis=0)
-        return grad_output @ self.weight.data
+            be.add(self.bias.grad, be.sum(grad_output, axis=0), out=self.bias.grad)
+        return be.matmul(grad_output, self.weight.data)
 
     def parameters(self) -> List[Parameter]:
         params = [self.weight]
@@ -153,67 +171,6 @@ class Linear(Layer):
         return f"Linear({self.in_features}, {self.out_features})"
 
 
-def _im2col(
-    images: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
-) -> Tuple[np.ndarray, Tuple[int, int]]:
-    """Convert ``(N, C, H, W)`` images into ``(N, OH*OW, C*KH*KW)`` patch matrices."""
-    batch, channels, height, width = images.shape
-    kernel_h, kernel_w = kernel
-    out_h = (height + 2 * padding - kernel_h) // stride + 1
-    out_w = (width + 2 * padding - kernel_w) // stride + 1
-    if out_h <= 0 or out_w <= 0:
-        raise ShapeError(
-            f"convolution output would be empty for input {images.shape[2:]}, "
-            f"kernel {kernel}, stride {stride}, padding {padding}"
-        )
-    if padding > 0:
-        images = np.pad(
-            images, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
-        )
-    strides = images.strides
-    windows = np.lib.stride_tricks.as_strided(
-        images,
-        shape=(batch, channels, out_h, out_w, kernel_h, kernel_w),
-        strides=(
-            strides[0],
-            strides[1],
-            strides[2] * stride,
-            strides[3] * stride,
-            strides[2],
-            strides[3],
-        ),
-        writeable=False,
-    )
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(batch, out_h * out_w, channels * kernel_h * kernel_w)
-    return np.ascontiguousarray(cols), (out_h, out_w)
-
-
-def _col2im(
-    cols: np.ndarray,
-    input_shape: Tuple[int, int, int, int],
-    kernel: Tuple[int, int],
-    stride: int,
-    padding: int,
-    out_hw: Tuple[int, int],
-) -> np.ndarray:
-    """Scatter-add patch gradients back into image gradients (inverse of im2col)."""
-    batch, channels, height, width = input_shape
-    kernel_h, kernel_w = kernel
-    out_h, out_w = out_hw
-    padded = np.zeros((batch, channels, height + 2 * padding, width + 2 * padding), dtype=np.float64)
-    cols = cols.reshape(batch, out_h, out_w, channels, kernel_h, kernel_w)
-    for row in range(kernel_h):
-        row_end = row + stride * out_h
-        for col in range(kernel_w):
-            col_end = col + stride * out_w
-            padded[:, :, row:row_end:stride, col:col_end:stride] += cols[:, :, :, :, row, col].transpose(
-                0, 3, 1, 2
-            )
-    if padding > 0:
-        return padded[:, :, padding:-padding, padding:-padding]
-    return padded
-
-
 class Conv2d(Layer):
     """2-D convolution over ``(N, C, H, W)`` inputs (cross-correlation, as in PyTorch)."""
 
@@ -229,8 +186,9 @@ class Conv2d(Layer):
         bias: bool = True,
         rng: SeedLike = None,
         name: str = "conv",
+        backend: BackendLike = None,
     ) -> None:
-        super().__init__()
+        super().__init__(backend)
         if min(in_channels, out_channels, kernel_size, stride) <= 0 or padding < 0:
             raise ConfigurationError(
                 "Conv2d parameters must be positive (padding non-negative): "
@@ -245,50 +203,66 @@ class Conv2d(Layer):
         self.name = name
         weight_shape = (out_channels, in_channels, kernel_size, kernel_size)
         self.weight = Parameter(
-            initializers.kaiming_uniform(weight_shape, generator), name=f"{name}.weight"
+            initializers.kaiming_uniform(weight_shape, generator),
+            name=f"{name}.weight",
+            backend=self.backend,
         )
         self.bias: Optional[Parameter] = None
         if bias:
             fan_in = in_channels * kernel_size * kernel_size
             self.bias = Parameter(
-                initializers.uniform_bias((out_channels,), fan_in, generator), name=f"{name}.bias"
+                initializers.uniform_bias((out_channels,), fan_in, generator),
+                name=f"{name}.bias",
+                backend=self.backend,
             )
-        self._cols: Optional[np.ndarray] = None
+        self._cols = None
         self._input_shape: Optional[Tuple[int, int, int, int]] = None
         self._out_hw: Optional[Tuple[int, int]] = None
 
-    def forward(self, inputs: np.ndarray) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+    def forward(self, inputs):
+        be = self.backend
+        inputs = be.asarray(inputs, "float64")
         if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
             raise ShapeError(
-                f"{self.name}: expected input of shape (N, {self.in_channels}, H, W), got {inputs.shape}"
+                f"{self.name}: expected input of shape (N, {self.in_channels}, H, W), "
+                f"got {tuple(inputs.shape)}"
             )
-        cols, out_hw = _im2col(inputs, (self.kernel_size, self.kernel_size), self.stride, self.padding)
+        cols, out_hw = be.im2col(
+            inputs, (self.kernel_size, self.kernel_size), self.stride, self.padding
+        )
         self._cols = cols
-        self._input_shape = inputs.shape
+        self._input_shape = tuple(inputs.shape)
         self._out_hw = out_hw
-        weight_matrix = self.weight.data.reshape(self.out_channels, -1)
-        output = cols @ weight_matrix.T
+        weight_matrix = be.reshape(self.weight.data, (self.out_channels, -1))
+        output = be.matmul(cols, be.transpose(weight_matrix))
         if self.bias is not None:
-            output = output + self.bias.data
+            output = be.add(output, self.bias.data)
         batch = inputs.shape[0]
         out_h, out_w = out_hw
-        return output.reshape(batch, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        output = be.reshape(output, (batch, out_h, out_w, self.out_channels))
+        return be.transpose(output, (0, 3, 1, 2))
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(self, grad_output):
         if self._cols is None or self._input_shape is None or self._out_hw is None:
             raise ShapeError(f"{self.name}: backward called before forward")
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        be = self.backend
+        grad_output = be.asarray(grad_output, "float64")
         batch = self._input_shape[0]
         out_h, out_w = self._out_hw
-        grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(batch, out_h * out_w, self.out_channels)
-        weight_matrix = self.weight.data.reshape(self.out_channels, -1)
-        grad_weight = np.einsum("npo,npk->ok", grad_flat, self._cols)
-        self.weight.grad += grad_weight.reshape(self.weight.data.shape)
+        grad_flat = be.reshape(
+            be.transpose(grad_output, (0, 2, 3, 1)), (batch, out_h * out_w, self.out_channels)
+        )
+        weight_matrix = be.reshape(self.weight.data, (self.out_channels, -1))
+        grad_weight = be.einsum("npo,npk->ok", grad_flat, self._cols)
+        be.add(
+            self.weight.grad,
+            be.reshape(grad_weight, self.weight.shape),
+            out=self.weight.grad,
+        )
         if self.bias is not None:
-            self.bias.grad += grad_flat.sum(axis=(0, 1))
-        grad_cols = grad_flat @ weight_matrix
-        return _col2im(
+            be.add(self.bias.grad, be.sum(grad_flat, axis=(0, 1)), out=self.bias.grad)
+        grad_cols = be.matmul(grad_flat, weight_matrix)
+        return be.col2im(
             grad_cols,
             self._input_shape,
             (self.kernel_size, self.kernel_size),
@@ -329,19 +303,20 @@ class ReLU(Layer):
 
     kind = "activation"
 
-    def __init__(self) -> None:
-        super().__init__()
-        self._mask: Optional[np.ndarray] = None
+    def __init__(self, backend: BackendLike = None) -> None:
+        super().__init__(backend)
+        self._mask = None
 
-    def forward(self, inputs: np.ndarray) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+    def forward(self, inputs):
+        be = self.backend
+        inputs = be.asarray(inputs, "float64")
         self._mask = inputs > 0.0
-        return np.where(self._mask, inputs, 0.0)
+        return be.where(self._mask, inputs, 0.0)
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(self, grad_output):
         if self._mask is None:
             raise ShapeError("ReLU: backward called before forward")
-        return np.where(self._mask, grad_output, 0.0)
+        return self.backend.where(self._mask, grad_output, 0.0)
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         return tuple(input_shape)
@@ -352,22 +327,24 @@ class LeakyReLU(Layer):
 
     kind = "activation"
 
-    def __init__(self, negative_slope: float = 0.01) -> None:
-        super().__init__()
+    def __init__(self, negative_slope: float = 0.01, backend: BackendLike = None) -> None:
+        super().__init__(backend)
         if negative_slope < 0:
             raise ConfigurationError(f"negative_slope must be >= 0, got {negative_slope}")
         self.negative_slope = negative_slope
-        self._mask: Optional[np.ndarray] = None
+        self._mask = None
 
-    def forward(self, inputs: np.ndarray) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+    def forward(self, inputs):
+        be = self.backend
+        inputs = be.asarray(inputs, "float64")
         self._mask = inputs > 0.0
-        return np.where(self._mask, inputs, self.negative_slope * inputs)
+        return be.where(self._mask, inputs, be.multiply(inputs, self.negative_slope))
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(self, grad_output):
         if self._mask is None:
             raise ShapeError("LeakyReLU: backward called before forward")
-        return np.where(self._mask, grad_output, self.negative_slope * grad_output)
+        be = self.backend
+        return be.where(self._mask, grad_output, be.multiply(grad_output, self.negative_slope))
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         return tuple(input_shape)
@@ -381,22 +358,24 @@ class Flatten(Layer):
 
     kind = "reshape"
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, backend: BackendLike = None) -> None:
+        super().__init__(backend)
         self._input_shape: Optional[Tuple[int, ...]] = None
 
-    def forward(self, inputs: np.ndarray) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
-        self._input_shape = inputs.shape
-        return inputs.reshape(inputs.shape[0], -1)
+    def forward(self, inputs):
+        be = self.backend
+        inputs = be.asarray(inputs, "float64")
+        self._input_shape = tuple(inputs.shape)
+        return be.reshape(inputs, (inputs.shape[0], -1))
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(self, grad_output):
         if self._input_shape is None:
             raise ShapeError("Flatten: backward called before forward")
-        return np.asarray(grad_output, dtype=np.float64).reshape(self._input_shape)
+        be = self.backend
+        return be.reshape(be.asarray(grad_output, "float64"), self._input_shape)
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
-        return (int(np.prod(input_shape)),)
+        return (int(math.prod(input_shape)),)
 
 
 class MaxPool2d(Layer):
@@ -404,44 +383,48 @@ class MaxPool2d(Layer):
 
     kind = "pool"
 
-    def __init__(self, kernel_size: int) -> None:
-        super().__init__()
+    def __init__(self, kernel_size: int, backend: BackendLike = None) -> None:
+        super().__init__(backend)
         if kernel_size <= 0:
             raise ConfigurationError(f"kernel_size must be positive, got {kernel_size}")
         self.kernel_size = kernel_size
-        self._argmax: Optional[np.ndarray] = None
+        self._argmax = None
         self._input_shape: Optional[Tuple[int, ...]] = None
 
-    def forward(self, inputs: np.ndarray) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+    def forward(self, inputs):
+        be = self.backend
+        inputs = be.asarray(inputs, "float64")
         if inputs.ndim != 4:
-            raise ShapeError(f"MaxPool2d expects (N, C, H, W) inputs, got {inputs.shape}")
+            raise ShapeError(f"MaxPool2d expects (N, C, H, W) inputs, got {tuple(inputs.shape)}")
         batch, channels, height, width = inputs.shape
         k = self.kernel_size
         if height % k != 0 or width % k != 0:
             raise ShapeError(
                 f"MaxPool2d kernel {k} must divide spatial dims ({height}, {width})"
             )
-        self._input_shape = inputs.shape
-        reshaped = inputs.reshape(batch, channels, height // k, k, width // k, k)
-        windows = reshaped.transpose(0, 1, 2, 4, 3, 5).reshape(
-            batch, channels, height // k, width // k, k * k
+        self._input_shape = tuple(inputs.shape)
+        reshaped = be.reshape(inputs, (batch, channels, height // k, k, width // k, k))
+        windows = be.reshape(
+            be.transpose(reshaped, (0, 1, 2, 4, 3, 5)),
+            (batch, channels, height // k, width // k, k * k),
         )
-        self._argmax = windows.argmax(axis=-1)
-        return windows.max(axis=-1)
+        windows = be.ascontiguous(windows)
+        self._argmax = be.argmax(windows, axis=-1)
+        return be.max(windows, axis=-1)
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(self, grad_output):
         if self._argmax is None or self._input_shape is None:
             raise ShapeError("MaxPool2d: backward called before forward")
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        be = self.backend
+        grad_output = be.asarray(grad_output, "float64")
         batch, channels, height, width = self._input_shape
         k = self.kernel_size
-        grad_windows = np.zeros(
-            (batch, channels, height // k, width // k, k * k), dtype=np.float64
+        grad_windows = be.zeros((batch, channels, height // k, width // k, k * k), "float64")
+        be.put_along_axis(grad_windows, self._argmax[..., None], grad_output[..., None], axis=-1)
+        grad_input = be.reshape(grad_windows, (batch, channels, height // k, width // k, k, k))
+        grad_input = be.reshape(
+            be.transpose(grad_input, (0, 1, 2, 4, 3, 5)), (batch, channels, height, width)
         )
-        np.put_along_axis(grad_windows, self._argmax[..., None], grad_output[..., None], axis=-1)
-        grad_input = grad_windows.reshape(batch, channels, height // k, width // k, k, k)
-        grad_input = grad_input.transpose(0, 1, 2, 4, 3, 5).reshape(batch, channels, height, width)
         return grad_input
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:

@@ -3,8 +3,10 @@
 The paper's Algorithm 1 uses the squared temporal-difference error; Huber loss
 is also provided because it is the standard DQN choice and makes the small
 fast-profile runs noticeably more stable.  Each loss returns ``(value, grad)``
-where ``grad`` is the gradient with respect to the predictions, ready to be
-fed to ``Sequential.backward``.
+where ``grad`` is the gradient with respect to the predictions as a numpy
+array, ready to be fed to ``Sequential.backward``.  The arithmetic runs on a
+pluggable :class:`~repro.nn.backend.ArrayBackend`; the numpy backend is
+bitwise identical to the direct-numpy implementation.
 """
 
 from __future__ import annotations
@@ -14,16 +16,19 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
+from repro.nn.backend import ArrayBackend
+from repro.nn.layers import BackendLike, _resolve_backend
 
 
-def _validate(predictions: np.ndarray, targets: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    predictions = np.asarray(predictions, dtype=np.float64)
-    targets = np.asarray(targets, dtype=np.float64)
-    if predictions.shape != targets.shape:
+def _validate(backend: ArrayBackend, predictions, targets):
+    predictions = backend.asarray(predictions, "float64")
+    targets = backend.asarray(targets, "float64")
+    if tuple(predictions.shape) != tuple(targets.shape):
         raise ShapeError(
-            f"predictions shape {predictions.shape} does not match targets shape {targets.shape}"
+            f"predictions shape {tuple(predictions.shape)} does not match "
+            f"targets shape {tuple(targets.shape)}"
         )
-    if predictions.size == 0:
+    if backend.numel(predictions) == 0:
         raise ShapeError("loss computed over an empty batch")
     return predictions, targets
 
@@ -31,31 +36,37 @@ def _validate(predictions: np.ndarray, targets: np.ndarray) -> Tuple[np.ndarray,
 class MSELoss:
     """Mean squared error: ``mean((pred - target)^2)``."""
 
+    def __init__(self, backend: BackendLike = None) -> None:
+        self.backend = _resolve_backend(backend)
+
     def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
-        predictions, targets = _validate(predictions, targets)
-        diff = predictions - targets
-        value = float(np.mean(diff**2))
-        grad = (2.0 / diff.size) * diff
-        return value, grad
+        be = self.backend
+        predictions, targets = _validate(be, predictions, targets)
+        diff = be.subtract(predictions, targets)
+        value = float(be.mean(be.multiply(diff, diff)))
+        grad = be.multiply(diff, 2.0 / be.numel(diff))
+        return value, be.to_numpy(grad)
 
 
 class HuberLoss:
     """Huber (smooth L1) loss with configurable transition point ``delta``."""
 
-    def __init__(self, delta: float = 1.0) -> None:
+    def __init__(self, delta: float = 1.0, backend: BackendLike = None) -> None:
         if delta <= 0:
             raise ConfigurationError(f"delta must be positive, got {delta}")
         self.delta = float(delta)
+        self.backend = _resolve_backend(backend)
 
     def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
-        predictions, targets = _validate(predictions, targets)
-        diff = predictions - targets
-        abs_diff = np.abs(diff)
+        be = self.backend
+        predictions, targets = _validate(be, predictions, targets)
+        diff = be.subtract(predictions, targets)
+        abs_diff = be.abs(diff)
         quadratic = abs_diff <= self.delta
-        values = np.where(
+        values = be.where(
             quadratic,
-            0.5 * diff**2,
-            self.delta * (abs_diff - 0.5 * self.delta),
+            be.multiply(be.multiply(diff, diff), 0.5),
+            be.multiply(be.subtract(abs_diff, 0.5 * self.delta), self.delta),
         )
-        grads = np.where(quadratic, diff, self.delta * np.sign(diff))
-        return float(np.mean(values)), grads / diff.size
+        grads = be.where(quadratic, diff, be.multiply(be.sign(diff), self.delta))
+        return float(be.mean(values)), be.to_numpy(be.divide(grads, be.numel(diff)))

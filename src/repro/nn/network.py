@@ -9,12 +9,20 @@ BERRY training loop relies on:
 * ``clone`` to create the perturbed copy used for the error-injected pass,
 * ``parameters`` exposing named :class:`~repro.nn.layers.Parameter` objects so
   quantization and fault injection can operate per layer.
+
+The container is backend-aware: layers hold their tensors on whichever
+:class:`~repro.nn.backend.ArrayBackend` they were built with (all layers must
+share one), while ``forward``/``backward``/``state_dict``/``gradients`` accept
+and return numpy arrays at the API boundary so every consumer (trainers,
+quantization, fault injection, evaluation) stays backend-agnostic.  For the
+numpy backend those boundary conversions are identity operations.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,6 +37,11 @@ class Sequential:
         if not layers:
             raise ConfigurationError("Sequential requires at least one layer")
         self.layers: List[Layer] = list(layers)
+        backends = {layer.backend for layer in self.layers}
+        if len(backends) > 1:
+            names = sorted(backend.name for backend in backends)
+            raise ConfigurationError(f"all layers must share one backend, got {names}")
+        self.backend = next(iter(backends))
         self.input_shape = tuple(input_shape) if input_shape is not None else None
         self._rename_duplicate_layers()
 
@@ -49,16 +62,16 @@ class Sequential:
 
     # ------------------------------------------------------------------ forward/backward
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        outputs = np.asarray(inputs, dtype=np.float64)
+        outputs = self.backend.asarray(inputs, "float64")
         for layer in self.layers:
             outputs = layer.forward(outputs)
-        return outputs
+        return self.backend.to_numpy(outputs)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        grad = np.asarray(grad_output, dtype=np.float64)
+        grad = self.backend.asarray(grad_output, "float64")
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
-        return grad
+        return self.backend.to_numpy(grad)
 
     def __call__(self, inputs: np.ndarray) -> np.ndarray:
         return self.forward(inputs)
@@ -86,24 +99,38 @@ class Sequential:
             parameter.zero_grad()
 
     def gradients(self) -> Dict[str, np.ndarray]:
-        """Snapshot of all parameter gradients (copies)."""
-        return {parameter.name: parameter.grad.copy() for parameter in self.parameters()}
+        """Snapshot of all parameter gradients (numpy copies)."""
+        backend = self.backend
+        return {
+            parameter.name: backend.to_numpy(parameter.grad, copy=True)
+            for parameter in self.parameters()
+        }
 
     def add_gradients(self, gradients: Dict[str, np.ndarray], scale: float = 1.0) -> None:
         """Accumulate externally computed gradients into this network's parameters."""
+        backend = self.backend
         named = self.named_parameters()
         for name, grad in gradients.items():
             if name not in named:
                 raise KeyError(f"unknown parameter {name!r} in gradient dictionary")
-            if grad.shape != named[name].grad.shape:
+            parameter = named[name]
+            if tuple(grad.shape) != parameter.shape:
                 raise ShapeError(
-                    f"gradient for {name!r} has shape {grad.shape}, expected {named[name].grad.shape}"
+                    f"gradient for {name!r} has shape {tuple(grad.shape)}, expected {parameter.shape}"
                 )
-            named[name].grad += scale * grad
+            backend.add(
+                parameter.grad,
+                backend.multiply(backend.asarray(grad, "float64"), scale),
+                out=parameter.grad,
+            )
 
     # ------------------------------------------------------------------ state management
     def state_dict(self) -> Dict[str, np.ndarray]:
-        return {parameter.name: parameter.data.copy() for parameter in self.parameters()}
+        backend = self.backend
+        return {
+            parameter.name: backend.to_numpy(parameter.data, copy=True)
+            for parameter in self.parameters()
+        }
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         named = self.named_parameters()
@@ -113,20 +140,25 @@ class Sequential:
             raise ConfigurationError(
                 f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
             )
+        backend = self.backend
         for name, parameter in named.items():
             values = np.asarray(state[name], dtype=np.float64)
-            if values.shape != parameter.data.shape:
+            if values.shape != parameter.shape:
                 raise ShapeError(
-                    f"state for {name!r} has shape {values.shape}, expected {parameter.data.shape}"
+                    f"state for {name!r} has shape {values.shape}, expected {parameter.shape}"
                 )
-            np.copyto(parameter.data, values)
+            backend.copyto_(parameter.data, backend.asarray(values, "float64"))
 
     def copy_from(self, other: "Sequential") -> None:
         """Copy parameter values from another network with the same architecture."""
         self.load_state_dict(other.state_dict())
 
     def clone(self) -> "Sequential":
-        """Deep copy of the network (architecture and parameter values)."""
+        """Deep copy of the network (architecture and parameter values).
+
+        Backends are stateless singletons whose ``__deepcopy__`` returns the
+        same object, so the clone shares the backend but owns its arrays.
+        """
         return copy.deepcopy(self)
 
     # ------------------------------------------------------------------ introspection
@@ -145,7 +177,7 @@ class Sequential:
         """Number of scalar outputs per sample (the Q-value head width)."""
         shapes = self.layer_shapes(input_shape)
         final = shapes[-1][1]
-        return int(np.prod(final))
+        return int(math.prod(final))
 
     def summary(self) -> str:
         """Human-readable architecture summary."""

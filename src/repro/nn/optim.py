@@ -5,13 +5,20 @@ clean/perturbed gradient (line 19); SGD with optional momentum is therefore
 the reference optimizer, with RMSProp and Adam available because the original
 Air-Learning DQN baselines use adaptive optimizers for faster convergence in
 small-sample regimes.
+
+All arithmetic goes through the parameters' shared
+:class:`~repro.nn.backend.ArrayBackend`, and every buffer the step needs
+(momentum/moment state, gradient-clip output, arithmetic scratch) is
+preallocated at construction so the steady-state ``step()`` allocates no
+arrays at all (``benchmarks/test_bench_optim.py`` pins the win).  The in-place
+rewrites keep the exact operation order of the original expressions, so the
+numpy backend remains bitwise identical to the pre-backend implementation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
-
-import numpy as np
+import math
+from typing import List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.nn.layers import Parameter
@@ -28,9 +35,15 @@ class Optimizer:
         self.parameters: List[Parameter] = list(parameters)
         if not self.parameters:
             raise ConfigurationError("optimizer constructed with no parameters")
+        self.backend = self.parameters[0].backend
         self.lr = float(lr)
         self.grad_clip = grad_clip
         self._step_count = 0
+        self._clip_buffers: List = (
+            [self.backend.empty_like(p.data) for p in self.parameters]
+            if grad_clip is not None
+            else []
+        )
 
     @property
     def step_count(self) -> int:
@@ -40,20 +53,23 @@ class Optimizer:
         for parameter in self.parameters:
             parameter.zero_grad()
 
-    def _clipped_grad(self, parameter: Parameter) -> np.ndarray:
+    def _clipped_grad(self, index: int, parameter: Parameter):
         if self.grad_clip is None:
             return parameter.grad
-        return np.clip(parameter.grad, -self.grad_clip, self.grad_clip)
+        return self.backend.clip(
+            parameter.grad, -self.grad_clip, self.grad_clip, out=self._clip_buffers[index]
+        )
 
     def step(self) -> None:
         raise NotImplementedError
 
     def global_grad_norm(self) -> float:
         """L2 norm of the concatenated gradient, useful for diagnostics."""
+        backend = self.backend
         total = 0.0
         for parameter in self.parameters:
-            total += float(np.sum(parameter.grad**2))
-        return float(np.sqrt(total))
+            total += float(backend.sum(backend.multiply(parameter.grad, parameter.grad)))
+        return math.sqrt(total)
 
 
 class SGD(Optimizer):
@@ -70,19 +86,23 @@ class SGD(Optimizer):
         if not 0.0 <= momentum < 1.0:
             raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = float(momentum)
-        self._velocity: List[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
+        self._velocity: List = [self.backend.zeros_like(p.data) for p in self.parameters]
+        self._scratch: List = [self.backend.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         self._step_count += 1
-        for parameter, velocity in zip(self.parameters, self._velocity):
-            grad = self._clipped_grad(parameter)
+        backend = self.backend
+        for index, (parameter, velocity) in enumerate(zip(self.parameters, self._velocity)):
+            grad = self._clipped_grad(index, parameter)
             if self.momentum > 0.0:
-                velocity *= self.momentum
-                velocity += grad
+                backend.multiply(velocity, self.momentum, out=velocity)
+                backend.add(velocity, grad, out=velocity)
                 update = velocity
             else:
                 update = grad
-            parameter.data -= self.lr * update
+            scratch = self._scratch[index]
+            backend.multiply(update, self.lr, out=scratch)
+            backend.subtract(parameter.data, scratch, out=parameter.data)
 
 
 class RMSProp(Optimizer):
@@ -103,15 +123,26 @@ class RMSProp(Optimizer):
             raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
         self.decay = float(decay)
         self.epsilon = float(epsilon)
-        self._square_avg: List[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
+        self._square_avg: List = [self.backend.zeros_like(p.data) for p in self.parameters]
+        self._scratch1: List = [self.backend.empty_like(p.data) for p in self.parameters]
+        self._scratch2: List = [self.backend.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         self._step_count += 1
-        for parameter, square_avg in zip(self.parameters, self._square_avg):
-            grad = self._clipped_grad(parameter)
-            square_avg *= self.decay
-            square_avg += (1.0 - self.decay) * grad**2
-            parameter.data -= self.lr * grad / (np.sqrt(square_avg) + self.epsilon)
+        backend = self.backend
+        for index, (parameter, square_avg) in enumerate(zip(self.parameters, self._square_avg)):
+            grad = self._clipped_grad(index, parameter)
+            scratch1 = self._scratch1[index]
+            scratch2 = self._scratch2[index]
+            backend.multiply(square_avg, self.decay, out=square_avg)
+            backend.multiply(grad, grad, out=scratch1)
+            backend.multiply(scratch1, 1.0 - self.decay, out=scratch1)
+            backend.add(square_avg, scratch1, out=square_avg)
+            backend.multiply(grad, self.lr, out=scratch1)
+            backend.sqrt(square_avg, out=scratch2)
+            backend.add(scratch2, self.epsilon, out=scratch2)
+            backend.divide(scratch1, scratch2, out=scratch1)
+            backend.subtract(parameter.data, scratch1, out=parameter.data)
 
 
 class Adam(Optimizer):
@@ -134,22 +165,36 @@ class Adam(Optimizer):
         self.beta1 = float(beta1)
         self.beta2 = float(beta2)
         self.epsilon = float(epsilon)
-        self._moment1: List[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
-        self._moment2: List[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
+        self._moment1: List = [self.backend.zeros_like(p.data) for p in self.parameters]
+        self._moment2: List = [self.backend.zeros_like(p.data) for p in self.parameters]
+        self._scratch1: List = [self.backend.empty_like(p.data) for p in self.parameters]
+        self._scratch2: List = [self.backend.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         self._step_count += 1
+        backend = self.backend
         correction1 = 1.0 - self.beta1**self._step_count
         correction2 = 1.0 - self.beta2**self._step_count
-        for parameter, moment1, moment2 in zip(self.parameters, self._moment1, self._moment2):
-            grad = self._clipped_grad(parameter)
-            moment1 *= self.beta1
-            moment1 += (1.0 - self.beta1) * grad
-            moment2 *= self.beta2
-            moment2 += (1.0 - self.beta2) * grad**2
-            corrected1 = moment1 / correction1
-            corrected2 = moment2 / correction2
-            parameter.data -= self.lr * corrected1 / (np.sqrt(corrected2) + self.epsilon)
+        for index, (parameter, moment1, moment2) in enumerate(
+            zip(self.parameters, self._moment1, self._moment2)
+        ):
+            grad = self._clipped_grad(index, parameter)
+            scratch1 = self._scratch1[index]
+            scratch2 = self._scratch2[index]
+            backend.multiply(moment1, self.beta1, out=moment1)
+            backend.multiply(grad, 1.0 - self.beta1, out=scratch1)
+            backend.add(moment1, scratch1, out=moment1)
+            backend.multiply(moment2, self.beta2, out=moment2)
+            backend.multiply(grad, grad, out=scratch1)
+            backend.multiply(scratch1, 1.0 - self.beta2, out=scratch1)
+            backend.add(moment2, scratch1, out=moment2)
+            backend.divide(moment1, correction1, out=scratch1)
+            backend.divide(moment2, correction2, out=scratch2)
+            backend.multiply(scratch1, self.lr, out=scratch1)
+            backend.sqrt(scratch2, out=scratch2)
+            backend.add(scratch2, self.epsilon, out=scratch2)
+            backend.divide(scratch1, scratch2, out=scratch1)
+            backend.subtract(parameter.data, scratch1, out=parameter.data)
 
 
 def build_optimizer(

@@ -15,13 +15,12 @@ inside a unit test would be needlessly slow without changing any conclusion).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.errors import ConfigurationError
-from repro.nn.layers import Conv2d, Flatten, Linear, ReLU
+from repro.nn.layers import BackendLike, Conv2d, Flatten, Linear, ReLU, _resolve_backend
 from repro.nn.network import Sequential
 from repro.utils.rng import SeedLike, as_generator
 
@@ -129,12 +128,15 @@ def build_policy(
     observation_shape: Sequence[int],
     num_actions: int,
     rng: SeedLike = None,
+    backend: BackendLike = None,
 ) -> Sequential:
     """Instantiate a Q-network from a spec for a given observation shape.
 
     Convolutional specs require a ``(C, H, W)`` observation; MLP specs accept
     any shape (it is flattened).  The output layer has ``num_actions`` units,
-    one Q-value per discrete action.
+    one Q-value per discrete action.  ``backend`` selects the compute backend
+    for every layer (default: the process-wide selection); initial weights are
+    drawn from the same numpy RNG stream regardless of backend.
     """
     if num_actions <= 0:
         raise ConfigurationError(f"num_actions must be positive, got {num_actions}")
@@ -142,6 +144,7 @@ def build_policy(
     if any(dim <= 0 for dim in observation_shape):
         raise ConfigurationError(f"observation dimensions must be positive, got {observation_shape}")
     generator = as_generator(rng)
+    compute = _resolve_backend(backend)
     layers: List = []
 
     current_shape = observation_shape
@@ -159,22 +162,25 @@ def build_policy(
                 padding=conv.padding,
                 rng=generator,
                 name=f"conv{index + 1}",
+                backend=compute,
             )
             layers.append(layer)
-            layers.append(ReLU())
+            layers.append(ReLU(backend=compute))
             current_shape = layer.output_shape(current_shape)
-        layers.append(Flatten())
-        feature_dim = int(np.prod(current_shape))
+        layers.append(Flatten(backend=compute))
+        feature_dim = int(math.prod(current_shape))
     else:
         if len(observation_shape) != 1:
-            layers.append(Flatten())
-        feature_dim = int(np.prod(observation_shape))
+            layers.append(Flatten(backend=compute))
+        feature_dim = int(math.prod(observation_shape))
 
     for index, hidden in enumerate(spec.hidden_units):
-        layers.append(Linear(feature_dim, hidden, rng=generator, name=f"fc{index + 1}"))
-        layers.append(ReLU())
+        layers.append(
+            Linear(feature_dim, hidden, rng=generator, name=f"fc{index + 1}", backend=compute)
+        )
+        layers.append(ReLU(backend=compute))
         feature_dim = hidden
-    layers.append(Linear(feature_dim, num_actions, rng=generator, name="q_head"))
+    layers.append(Linear(feature_dim, num_actions, rng=generator, name="q_head", backend=compute))
 
     return Sequential(layers, input_shape=observation_shape)
 

@@ -6,16 +6,24 @@ accelerator stores weights in its on-chip SRAM.  The scale of each layer is
 chosen from the maximum absolute value in that layer (symmetric, zero-point
 free), matching the scheme used by Stutz et al. (MLSys'21) whose profiled
 chips are reused here.
+
+The scale search and rounding run on a pluggable
+:class:`~repro.nn.backend.ArrayBackend` (this is the dominant cost of the
+``BErr_p`` operator); the emitted :class:`~repro.quant.qtensor.QuantizedTensor`
+always stores numpy ``int32`` codes regardless of backend, and the default
+numpy backend is bitwise identical to the direct-numpy implementation.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Mapping
 
 import numpy as np
 
 from repro.errors import QuantizationError
+from repro.nn.backend import ArrayBackend, resolve_backend
 from repro.quant.qtensor import QuantizedTensor
 
 
@@ -43,17 +51,17 @@ class QuantizationConfig:
             )
 
 
-def _scale_for(values: np.ndarray, config: QuantizationConfig) -> float:
-    """Choose the quantization scale for one tensor."""
-    magnitudes = np.abs(values)
-    if magnitudes.size == 0:
+def _scale_for(values, config: QuantizationConfig, backend: ArrayBackend) -> float:
+    """Choose the quantization scale for one tensor (``values`` is a backend array)."""
+    magnitudes = backend.abs(values)
+    if backend.numel(magnitudes) == 0:
         raise QuantizationError("cannot quantize an empty array")
     if config.clip_quantile >= 1.0:
-        max_abs = float(magnitudes.max())
+        max_abs = float(backend.max(magnitudes))
     else:
-        max_abs = float(np.quantile(magnitudes, config.clip_quantile))
+        max_abs = backend.quantile(magnitudes, config.clip_quantile)
     max_code = float(2 ** (config.bits - 1) - 1)
-    if max_abs == 0.0 or not np.isfinite(max_abs) or max_abs / max_code == 0.0:
+    if max_abs == 0.0 or not math.isfinite(max_abs) or max_abs / max_code == 0.0:
         # All-zero (or degenerate) tensors still need a valid scale; the codes
         # will all be zero so the actual value does not matter.  A subnormal
         # max_abs whose division underflows to 0.0 lands here too.
@@ -61,14 +69,27 @@ def _scale_for(values: np.ndarray, config: QuantizationConfig) -> float:
     return max_abs / max_code
 
 
-def quantize(values: np.ndarray, config: QuantizationConfig = QuantizationConfig()) -> QuantizedTensor:
+def _encode(values, scale: float, bits: int, backend: ArrayBackend) -> np.ndarray:
+    """Round ``values / scale`` into clipped signed codes as a numpy int32 array."""
+    low, high = -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+    codes = backend.astype(
+        backend.clip(backend.round(backend.divide(values, scale)), low, high), "int32"
+    )
+    return backend.to_numpy(codes)
+
+
+def quantize(
+    values: np.ndarray,
+    config: QuantizationConfig = QuantizationConfig(),
+    backend: "ArrayBackend | str | None" = None,
+) -> QuantizedTensor:
     """Quantize a floating-point array to signed fixed-point codes."""
-    values = np.asarray(values, dtype=np.float64)
-    if not np.all(np.isfinite(values)):
+    compute = resolve_backend(backend)
+    values = compute.asarray(values, "float64")
+    if not compute.all_finite(values):
         raise QuantizationError("cannot quantize an array containing NaN or infinity")
-    scale = _scale_for(values, config)
-    low, high = -(2 ** (config.bits - 1)), 2 ** (config.bits - 1) - 1
-    codes = np.clip(np.round(values / scale), low, high).astype(np.int32)
+    scale = _scale_for(values, config, compute)
+    codes = _encode(values, scale, config.bits, compute)
     return QuantizedTensor(codes=codes, scale=scale, bits=config.bits)
 
 
@@ -77,28 +98,35 @@ def dequantize(tensor: QuantizedTensor) -> np.ndarray:
     return tensor.dequantize()
 
 
-def quantization_step(values: np.ndarray, config: QuantizationConfig = QuantizationConfig()) -> float:
+def quantization_step(
+    values: np.ndarray,
+    config: QuantizationConfig = QuantizationConfig(),
+    backend: "ArrayBackend | str | None" = None,
+) -> float:
     """The value of one least-significant bit for the given tensor."""
-    return _scale_for(np.asarray(values, dtype=np.float64), config)
+    compute = resolve_backend(backend)
+    return _scale_for(compute.asarray(values, "float64"), config, compute)
 
 
 def quantize_state_dict(
-    state: Mapping[str, np.ndarray], config: QuantizationConfig = QuantizationConfig()
+    state: Mapping[str, np.ndarray],
+    config: QuantizationConfig = QuantizationConfig(),
+    backend: "ArrayBackend | str | None" = None,
 ) -> Dict[str, QuantizedTensor]:
     """Quantize every parameter tensor of a network state dict.
 
     With ``per_layer=False`` a single scale derived from the concatenation of
     all parameters is used for every tensor.
     """
+    compute = resolve_backend(backend)
     if config.per_layer:
-        return {name: quantize(values, config) for name, values in state.items()}
+        return {name: quantize(values, config, backend=compute) for name, values in state.items()}
     flat = np.concatenate([np.asarray(v, dtype=np.float64).ravel() for v in state.values()])
-    scale = _scale_for(flat, config)
-    low, high = -(2 ** (config.bits - 1)), 2 ** (config.bits - 1) - 1
+    scale = _scale_for(compute.asarray(flat, "float64"), config, compute)
     quantized: Dict[str, QuantizedTensor] = {}
     for name, values in state.items():
-        codes = np.clip(np.round(np.asarray(values, dtype=np.float64) / scale), low, high)
-        quantized[name] = QuantizedTensor(codes=codes.astype(np.int32), scale=scale, bits=config.bits)
+        codes = _encode(compute.asarray(values, "float64"), scale, config.bits, compute)
+        quantized[name] = QuantizedTensor(codes=codes, scale=scale, bits=config.bits)
     return quantized
 
 
@@ -108,7 +136,9 @@ def dequantize_state_dict(quantized: Mapping[str, QuantizedTensor]) -> Dict[str,
 
 
 def quantization_round_trip(
-    state: Mapping[str, np.ndarray], config: QuantizationConfig = QuantizationConfig()
+    state: Mapping[str, np.ndarray],
+    config: QuantizationConfig = QuantizationConfig(),
+    backend: "ArrayBackend | str | None" = None,
 ) -> Dict[str, np.ndarray]:
     """Quantize then dequantize a state dict (the error-free deployment view)."""
-    return dequantize_state_dict(quantize_state_dict(state, config))
+    return dequantize_state_dict(quantize_state_dict(state, config, backend=backend))

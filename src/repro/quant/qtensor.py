@@ -15,6 +15,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import QuantizationError
+from repro.nn.backend import NUMPY_BACKEND
 
 
 @dataclass
@@ -56,19 +57,27 @@ class QuantizedTensor:
         return (-(2 ** (self.bits - 1)), 2 ** (self.bits - 1) - 1)
 
     def dequantize(self) -> np.ndarray:
-        """Reconstruct floating-point values."""
-        return self.codes.astype(np.float64) * self.scale
+        """Reconstruct floating-point values.
+
+        Codes are stored as numpy ``int32`` regardless of the compute backend
+        that produced them, so the reconstruction runs on the numpy backend
+        (a cast plus one scalar multiply).
+        """
+        be = NUMPY_BACKEND
+        return be.multiply(be.astype(self.codes, "float64"), self.scale)
 
     # ----------------------------------------------------------------- bit-level views
     def to_unsigned(self) -> np.ndarray:
         """Two's-complement view of the codes as unsigned integers in [0, 2^bits)."""
+        be = NUMPY_BACKEND
         modulus = 1 << self.bits
-        return np.mod(self.codes, modulus).astype(np.int64)
+        return be.astype(be.mod(self.codes, modulus), "int64")
 
     @classmethod
     def from_unsigned(cls, unsigned: np.ndarray, scale: float, bits: int) -> "QuantizedTensor":
         """Rebuild a tensor from unsigned two's-complement words."""
-        unsigned = np.asarray(unsigned, dtype=np.int64)
+        be = NUMPY_BACKEND
+        unsigned = be.asarray(unsigned, "int64")
         modulus = 1 << bits
         if unsigned.size and (unsigned.min() < 0 or unsigned.max() >= modulus):
             raise QuantizationError(
@@ -76,8 +85,8 @@ class QuantizedTensor:
                 f"[{unsigned.min()}, {unsigned.max()}]"
             )
         half = 1 << (bits - 1)
-        signed = np.where(unsigned >= half, unsigned - modulus, unsigned)
-        return cls(codes=signed.astype(np.int32), scale=scale, bits=bits)
+        signed = be.where(unsigned >= half, be.subtract(unsigned, modulus), unsigned)
+        return cls(codes=be.astype(signed, "int32"), scale=scale, bits=bits)
 
     def to_bitplanes(self) -> np.ndarray:
         """Boolean array of shape ``codes.shape + (bits,)``, LSB first."""

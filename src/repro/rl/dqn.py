@@ -22,6 +22,7 @@ the reference implementation the equivalence tests pin against.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -29,6 +30,7 @@ import numpy as np
 
 from repro.errors import TrainingError
 from repro.envs.navigation import NavigationEnv
+from repro.nn.backend import get_backend, registered_backends
 from repro.nn.loss import HuberLoss, MSELoss
 from repro.nn.network import Sequential
 from repro.nn.optim import build_optimizer
@@ -61,6 +63,11 @@ class DqnConfig:
     #: the serial trainer bitwise; B > 1 collects B transitions per lockstep
     #: step (per-lane exploration streams, one batched Q forward per step).
     train_lanes: int = 1
+    #: Compute backend for the Q-network, loss, optimizer and fault-injection
+    #: hot paths ("numpy" reproduces the pre-backend trainer bitwise; "torch"
+    #: requires the optional torch extra and trades bitwise identity for
+    #: faster gradient steps).
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.gamma < 1.0:
@@ -75,6 +82,10 @@ class DqnConfig:
             raise TrainingError(f"loss must be 'huber' or 'mse', got {self.loss!r}")
         if self.train_lanes <= 0:
             raise TrainingError(f"train_lanes must be positive, got {self.train_lanes}")
+        if self.backend not in registered_backends():
+            raise TrainingError(
+                f"unknown backend {self.backend!r}; registered backends: {registered_backends()}"
+            )
 
 
 @dataclass
@@ -135,7 +146,10 @@ class DqnTrainer:
         self._rng = as_generator(rng)
         spec = policy_spec if policy_spec is not None else mlp()
         observation_shape = env.observation_space.shape
-        self.q_network = build_policy(spec, observation_shape, env.action_space.n, rng=self._rng)
+        self.backend = get_backend(config.backend)
+        self.q_network = build_policy(
+            spec, observation_shape, env.action_space.n, rng=self._rng, backend=self.backend
+        )
         self.target_network = self.q_network.clone()
         self.optimizer = build_optimizer(
             config.optimizer,
@@ -143,7 +157,11 @@ class DqnTrainer:
             lr=config.learning_rate,
             grad_clip=config.grad_clip,
         )
-        self.loss_fn = HuberLoss() if config.loss == "huber" else MSELoss()
+        self.loss_fn = (
+            HuberLoss(backend=self.backend)
+            if config.loss == "huber"
+            else MSELoss(backend=self.backend)
+        )
         self.replay = ReplayBuffer(config.buffer_capacity, observation_shape)
         self.history = TrainingHistory()
         self.policy_spec = spec
@@ -191,15 +209,20 @@ class DqnTrainer:
 
     def learn_on_batch(self, batch: Transition) -> float:
         """One optimizer update from one mini-batch."""
-        with span("train.gradient_step"):
+        metrics = get_metrics()
+        started = time.perf_counter() if metrics.enabled else 0.0
+        with span("train.gradient_step", backend=self.backend.name):
             self.optimizer.zero_grad()
             loss_value = self.accumulate_gradients(batch)
             self.optimizer.step()
         self.history.gradient_steps += 1
-        metrics = get_metrics()
         if metrics.enabled:
             metrics.counter("train.gradient_steps").inc()
             metrics.histogram("train.loss").observe(loss_value)
+            metrics.counter(f"train.backend.{self.backend.name}.gradient_steps").inc()
+            metrics.histogram(f"train.backend.{self.backend.name}.gradient_step_s").observe(
+                time.perf_counter() - started
+            )
         return loss_value
 
     def sync_target_network(self) -> None:

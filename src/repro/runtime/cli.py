@@ -38,7 +38,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import BackendError, ConfigurationError
 from repro.obs import (
     disable_metrics,
     disable_tracing,
@@ -111,6 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--heartbeat", type=float, default=DEFAULT_HEARTBEAT_S, metavar="SECONDS",
                      help=f"progress line cadence on stderr, 0 disables "
                           f"(default: {DEFAULT_HEARTBEAT_S:g})")
+    run.add_argument("--backend", default=None, metavar="NAME",
+                     help="compute backend for backend-aware sweeps "
+                          "(e.g. numpy, torch; default: $REPRO_BACKEND or numpy)")
 
     status = commands.add_parser("status", help="show a sweep's journaled progress")
     status.add_argument("sweep", help="registered sweep name")
@@ -152,6 +155,14 @@ def _cmd_list(stream) -> int:
 
 
 def _cmd_run(args: argparse.Namespace, stream) -> int:
+    if args.backend is not None:
+        from repro.nn.backend import BACKEND_ENV_VAR, set_default_backend
+
+        # Selecting before the spec is built lets backend-aware sweeps record
+        # the backend in their job params (and hence spec hashes); the env var
+        # carries the selection into spawned worker processes.
+        set_default_backend(args.backend)
+        os.environ[BACKEND_ENV_VAR] = str(args.backend)
     entry = get_registered_sweep(args.sweep)
     sweep = entry.spec()
     quiet = args.quiet or args.global_quiet
@@ -302,7 +313,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_status(args, stream)
         if args.command == "report":
             return _cmd_report(args, stream)
-    except ConfigurationError as error:
+    except (BackendError, ConfigurationError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except KeyboardInterrupt:

@@ -22,7 +22,13 @@ pytestmark = pytest.mark.slow
 
 @pytest.fixture(scope="module")
 def trained_policies() -> TrainedPolicies:
-    """Train the classical and BERRY policies once for the whole module (~25 s)."""
+    """Train the classical and BERRY policies once for the whole module (~12 s).
+
+    Training collects experience on the profile's 8 lockstep lanes
+    (``FAST_PROFILE.dqn.train_lanes``); the thresholds below are re-baselined
+    against the deterministic seed-0 outcome of that lane layout (measured:
+    classical 1.00 / BERRY 0.65 error-free, +0.67 BERRY margin at p = 1 %).
+    """
     return train_policies(FAST_PROFILE, training_ber_percent=1.0, seed=0)
 
 
@@ -31,8 +37,8 @@ class TestTrainedRobustness:
         env = trained_policies.environment
         classical = evaluate_policy(env, trained_policies.classical.q_network, 20, rng=11)
         berry = evaluate_policy(env, trained_policies.berry.q_network, 20, rng=11)
-        assert classical.success_rate >= 0.6
-        assert berry.success_rate >= 0.6
+        assert classical.success_rate >= 0.8  # measured 1.00
+        assert berry.success_rate >= 0.6  # measured 0.65
 
     def test_berry_is_more_robust_to_bit_errors(self, trained_policies):
         """The reduced-scale analogue of Table I: at p = 1 % BERRY retains far more missions."""
@@ -45,7 +51,7 @@ class TestTrainedRobustness:
             env, trained_policies.berry.q_network, ber_percent=1.0,
             num_fault_maps=12, episodes_per_map=2, rng=13,
         )
-        assert berry.success_rate >= classical.success_rate + 0.15
+        assert berry.success_rate >= classical.success_rate + 0.4  # measured +0.67
 
     def test_berry_training_used_injections(self, trained_policies):
         berry_trainer = trained_policies.berry
