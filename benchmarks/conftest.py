@@ -5,13 +5,28 @@ generators in :mod:`repro.experiments` and prints the resulting rows/series so
 that ``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
 report.  pytest-benchmark additionally records how long each regeneration
 takes.
+
+After a timed session (not under ``--benchmark-disable``) the harness also
+appends one record **per benchmark group** to the persistent run ledger
+(:mod:`repro.obs.store`): each benchmark's raw timings enter a
+``bench.<name>.duration_s`` histogram, so ``repro-runtime obs
+history/check`` track the benchmark trajectory exactly like sweep runs.
+The ledger path comes from ``$REPRO_BENCH_LEDGER`` (``0`` disables; default
+``benchmarks/BENCH_ledger.jsonl``, an accumulating dataset next to the
+committed ``BENCH_*.json`` baselines).
 """
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.utils.tables import Table, format_aligned
+
+#: Environment variable selecting the benchmark ledger ("0" disables).
+BENCH_LEDGER_ENV_VAR = "REPRO_BENCH_LEDGER"
 
 
 def report(table: Table) -> Table:
@@ -24,3 +39,68 @@ def report(table: Table) -> Table:
 @pytest.fixture
 def print_table():
     return report
+
+
+def _bench_ledger_path() -> Path | None:
+    value = os.environ.get(BENCH_LEDGER_ENV_VAR)
+    if value == "0":
+        return None
+    if value:
+        return Path(value)
+    return Path(__file__).resolve().parent / "BENCH_ledger.jsonl"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append one ledger record per benchmark group after a timed session."""
+    try:
+        _record_benchmark_session(session)
+    except Exception:
+        # The ledger is best-effort telemetry; it must never fail the suite.
+        import traceback
+
+        traceback.print_exc()
+
+
+def _record_benchmark_session(session) -> None:
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or bench_session.benchmarks is None:
+        return
+    if getattr(bench_session, "disabled", False):
+        return
+    path = _bench_ledger_path()
+    if path is None:
+        return
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.store import RunLedger
+    from repro.utils.serialization import stable_hash
+
+    groups: dict = {}
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        data = list(getattr(stats, "data", []) or [])
+        if not data:
+            continue
+        groups.setdefault(bench.group or "ungrouped", []).append((bench.name, data))
+    if not groups:
+        return
+
+    ledger = RunLedger(path)
+    for group, benches in sorted(groups.items()):
+        registry = MetricsRegistry()
+        total_s = 0.0
+        for name, data in benches:
+            histogram = registry.histogram(f"bench.{name}.duration_s")
+            for duration_s in data:
+                histogram.observe(float(duration_s))
+                total_s += float(duration_s)
+        ledger.record_run(
+            kind="benchmark",
+            name=group,
+            # Content-address the group by its benchmark names: a renamed or
+            # added benchmark starts a fresh comparable series.
+            spec_hash=stable_hash(sorted(name for name, _ in benches))[:16],
+            wall_time_s=total_s,
+            counts={"benchmarks": len(benches)},
+            metrics=registry.snapshot(),
+        )

@@ -48,6 +48,21 @@ class ArrayBackend:
     #: Registry key and display name of the backend.
     name: str = "abstract"
 
+    #: Device the backend computes on; CPU for everything except an
+    #: accelerator-selecting :class:`~repro.nn.backend.torch_backend.TorchBackend`.
+    device: str = "cpu"
+
+    @property
+    def metric_tag(self) -> str:
+        """The tag this backend contributes to metric names and fingerprints.
+
+        CPU-only backends tag with their bare name; device-selecting backends
+        (torch) append the device so GPU runs form a separate ledger series:
+        ``train.backend.torch.cuda.gradient_steps`` vs
+        ``train.backend.numpy.gradient_steps``.
+        """
+        return self.name
+
     # ------------------------------------------------------------------ conversion
     def asarray(self, values, dtype: str = "float64"):
         """``values`` as a backend array of ``dtype`` (no copy when possible)."""
@@ -296,6 +311,18 @@ def resolve_backend(backend: Union["ArrayBackend", str, None] = None) -> ArrayBa
     return get_backend(backend)
 
 
+def peek_backend(name: Optional[str] = None) -> Optional[ArrayBackend]:
+    """The already-instantiated backend for ``name``, or ``None``.
+
+    Unlike :func:`get_backend` this never triggers a lazy library import —
+    it is what the environment fingerprint uses to report the device of a
+    backend *if* one was actually used, without paying a torch import just
+    to write a ledger record.
+    """
+    key = name if name is not None else default_backend_name()
+    return _INSTANCES.get(key)
+
+
 def get_backend(name: Optional[str] = None) -> ArrayBackend:
     """Resolve a backend by name (``None`` -> the process default)."""
     key = name if name is not None else default_backend_name()
@@ -340,6 +367,7 @@ __all__ = [
     "backend_available",
     "default_backend_name",
     "get_backend",
+    "peek_backend",
     "register_backend",
     "registered_backends",
     "resolve_backend",

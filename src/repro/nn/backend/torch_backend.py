@@ -1,4 +1,10 @@
-"""Optional PyTorch compute backend (CPU), loaded lazily.
+"""Optional PyTorch compute backend (CPU by default, device-selectable), loaded lazily.
+
+The device comes from the ``REPRO_TORCH_DEVICE`` environment variable (or an
+explicit ``TorchBackend(device=...)``); ``cuda`` requests are validated
+eagerly against ``torch.cuda.is_available()``.  The backend's
+:attr:`metric_tag` is ``torch.<device>``, so gradient-step metrics and ledger
+fingerprints keep GPU and CPU runs in separate series.
 
 ``torch`` is imported under a guard the way SNIPPETS' iGibson environment
 guards its torch import: importing *this module* does not require torch to be
@@ -21,12 +27,16 @@ in place.
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import BackendError, ShapeError
 from repro.nn.backend import ArrayBackend
+
+#: Environment variable selecting the torch device ("cpu", "cuda", "cuda:1"...).
+TORCH_DEVICE_ENV_VAR = "REPRO_TORCH_DEVICE"
 
 try:  # pragma: no cover - exercised only when torch is installed
     import torch
@@ -41,12 +51,22 @@ class TorchBackend(ArrayBackend):
 
     name = "torch"
 
-    def __init__(self) -> None:
+    def __init__(self, device: Optional[str] = None) -> None:
         if torch is None:
             raise BackendError(
                 "the 'torch' backend was requested but torch is not installed; "
                 "install it with: pip install -e .[torch]"
             )
+        if device is None:
+            device = os.environ.get(TORCH_DEVICE_ENV_VAR, "cpu")
+        resolved = torch.device(device)
+        if resolved.type == "cuda" and not torch.cuda.is_available():
+            raise BackendError(
+                f"torch device {device!r} was requested but CUDA is not available "
+                "in this torch build"
+            )
+        self._device = resolved
+        self.device = str(resolved)
         self._dtypes = {
             "float64": torch.float64,
             "float32": torch.float32,
@@ -59,21 +79,32 @@ class TorchBackend(ArrayBackend):
             "bool": torch.bool,
         }
 
+    @property
+    def metric_tag(self) -> str:
+        # torch.cpu vs torch.cuda: GPU gradient timings must form their own
+        # metric/ledger series, never average into the CPU baseline.
+        return f"{self.name}.{self.device}"
+
     # ------------------------------------------------------------------ conversion
     def asarray(self, values, dtype: str = "float64"):
         if isinstance(values, torch.Tensor):
-            return values.to(self._dtypes[dtype])
-        return torch.as_tensor(np.asarray(values), dtype=self._dtypes[dtype])
+            return values.to(device=self._device, dtype=self._dtypes[dtype])
+        return torch.as_tensor(
+            np.asarray(values), dtype=self._dtypes[dtype], device=self._device
+        )
 
     def array(self, values, dtype: str = "float64"):
         return self.asarray(values, dtype).clone()
 
     def from_numpy(self, values):
-        return torch.from_numpy(np.ascontiguousarray(values))
+        tensor = torch.from_numpy(np.ascontiguousarray(values))
+        # .to() is the identity on the CPU device, preserving the zero-copy
+        # contract; on an accelerator it is the explicit host->device upload.
+        return tensor.to(self._device) if self._device.type != "cpu" else tensor
 
     def to_numpy(self, values, copy: bool = False):
         if isinstance(values, torch.Tensor):
-            array = values.detach().contiguous().numpy()
+            array = values.detach().cpu().contiguous().numpy()
         else:
             array = np.asarray(values)
         return array.copy() if copy else array
@@ -82,7 +113,7 @@ class TorchBackend(ArrayBackend):
         return values.clone()
 
     def zeros(self, shape: Sequence[int], dtype: str = "float64"):
-        return torch.zeros(tuple(shape), dtype=self._dtypes[dtype])
+        return torch.zeros(tuple(shape), dtype=self._dtypes[dtype], device=self._device)
 
     def zeros_like(self, values):
         return torch.zeros_like(values)
@@ -249,15 +280,25 @@ class TorchBackend(ArrayBackend):
 
     # The scatter ops must accumulate when several fault bits land in the same
     # word; CPU tensors share memory with their numpy views, so numpy's
-    # ``ufunc.at`` updates the tensor in place without a copy.
+    # ``ufunc.at`` updates the tensor in place without a copy.  On an
+    # accelerator the update round-trips through a host copy — the fault path
+    # is rare enough that correctness beats a custom scatter kernel.
+    def _scatter_at(self, ufunc, target, indices, masks) -> None:
+        if target.device.type == "cpu":
+            ufunc.at(target.numpy(), self.to_numpy(indices), self.to_numpy(masks))
+        else:
+            host = target.detach().cpu().numpy()
+            ufunc.at(host, self.to_numpy(indices), self.to_numpy(masks))
+            target.copy_(torch.from_numpy(host))
+
     def bitwise_xor_at(self, target, indices, masks) -> None:
-        np.bitwise_xor.at(target.numpy(), self.to_numpy(indices), self.to_numpy(masks))
+        self._scatter_at(np.bitwise_xor, target, indices, masks)
 
     def bitwise_and_at(self, target, indices, masks) -> None:
-        np.bitwise_and.at(target.numpy(), self.to_numpy(indices), self.to_numpy(masks))
+        self._scatter_at(np.bitwise_and, target, indices, masks)
 
     def bitwise_or_at(self, target, indices, masks) -> None:
-        np.bitwise_or.at(target.numpy(), self.to_numpy(indices), self.to_numpy(masks))
+        self._scatter_at(np.bitwise_or, target, indices, masks)
 
     def popcount(self, values) -> int:
         array = self.to_numpy(values)

@@ -1,6 +1,6 @@
-"""``repro.obs`` — the observability layer: metrics, spans, trace export.
+"""``repro.obs`` — the observability layer: metrics, spans, traces, the ledger.
 
-Three cooperating pieces, all process-local and disabled by default:
+Five cooperating pieces, the in-process ones disabled by default:
 
 * :mod:`repro.obs.metrics` — a registry of counters, gauges and fixed
   log-scale-binned histograms with a zero-allocation no-op fast path and
@@ -11,6 +11,12 @@ Three cooperating pieces, all process-local and disabled by default:
 * :mod:`repro.obs.sink` / :mod:`repro.obs.heartbeat` — episode-cadence
   training telemetry fed by the trainer callback, and the rate-limited
   progress line of long sweep runs.
+* :mod:`repro.obs.store` — the **run ledger**: an append-only JSONL file of
+  per-run records (metrics snapshot, span rollup, environment fingerprint)
+  written automatically by the sweep engine and the benchmark suite, with
+  history/diff/regression-check queries on top (``repro-runtime obs ...``).
+* :mod:`repro.obs.export` — OpenMetrics/Prometheus text exposition of any
+  registry snapshot (``--prom-file`` on the CLI).
 
 Hot layers import the module-level accessors (:func:`get_metrics`,
 :func:`span`) and call them unconditionally; enabling observability is the
@@ -19,6 +25,12 @@ caller's decision (``--trace`` / ``--metrics`` on the CLI, or
 """
 
 from repro.obs.capture import observe_job
+from repro.obs.export import (
+    export_openmetrics,
+    openmetrics_to_snapshot,
+    parse_openmetrics,
+    to_openmetrics,
+)
 from repro.obs.heartbeat import Heartbeat
 from repro.obs.metrics import (
     NOOP_METRICS,
@@ -30,8 +42,21 @@ from repro.obs.metrics import (
     metrics_enabled,
 )
 from repro.obs.sink import TelemetrySink
+from repro.obs.store import (
+    RegressionFinding,
+    RunLedger,
+    RunRecord,
+    check_ledger,
+    default_ledger_path,
+    detect_regressions,
+    diff_records,
+    environment_fingerprint,
+    metric_value,
+    span_rollup,
+)
 from repro.obs.tracing import (
     Tracer,
+    chrome_trace_drop_count,
     chrome_trace_to_spans,
     collecting_trace,
     disable_tracing,
@@ -47,21 +72,36 @@ __all__ = [
     "Heartbeat",
     "MetricsRegistry",
     "NOOP_METRICS",
+    "RegressionFinding",
+    "RunLedger",
+    "RunRecord",
     "TelemetrySink",
     "Tracer",
+    "check_ledger",
+    "chrome_trace_drop_count",
     "chrome_trace_to_spans",
     "collecting_metrics",
     "collecting_trace",
+    "default_ledger_path",
+    "detect_regressions",
+    "diff_records",
     "disable_metrics",
     "disable_tracing",
     "enable_metrics",
     "enable_tracing",
+    "environment_fingerprint",
     "export_chrome_trace",
+    "export_openmetrics",
     "get_metrics",
     "get_tracer",
+    "metric_value",
     "metrics_enabled",
     "observe_job",
+    "openmetrics_to_snapshot",
+    "parse_openmetrics",
     "span",
+    "span_rollup",
     "spans_to_chrome_trace",
+    "to_openmetrics",
     "tracing_enabled",
 ]

@@ -1,0 +1,242 @@
+"""OpenMetrics / Prometheus text exposition of a metrics snapshot.
+
+:func:`to_openmetrics` turns any :meth:`MetricsRegistry.snapshot()
+<repro.obs.metrics.MetricsRegistry.snapshot>` dict into the OpenMetrics text
+format (https://prometheus.io/docs/specs/om/open_metrics_spec/), which both
+Prometheus and the OpenMetrics-native scrapers ingest:
+
+* counters expose ``<name>_total``;
+* gauges expose ``<name>``;
+* histograms expose cumulative ``<name>_bucket{le="..."}`` series derived
+  bin-for-bin from the fixed log-binned scheme of
+  :mod:`repro.obs.metrics`, the mandatory ``le="+Inf"`` bucket (equal to
+  ``<name>_count``), plus exact ``<name>_sum`` / ``<name>_count``.
+
+Two properties matter more than prettiness:
+
+* **Exactness** — sample values are rendered with ``repr`` so every float
+  round-trips bit-for-bit; ``_count``/``_sum`` parsed back from the
+  exposition equal the snapshot's values exactly (pinned by tests).
+* **Self-validation** — :func:`parse_openmetrics` is a strict reader of the
+  subset this module emits (typed families, cumulative buckets, mandatory
+  ``# EOF``), used by the tests as an in-repo grammar check and by ``obs``
+  tooling to consume dumps without guessing.
+
+Metric names are sanitised to the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset —
+dots (our namespace separator) become underscores, so
+``engine.job_duration_s`` is scraped as ``engine_job_duration_s``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import bin_upper_bound
+from repro.utils.serialization import PathLike
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+_SAMPLE_LINE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r'\s+(?P<value>\S+)\s*$'
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+
+def openmetrics_name(name: str) -> str:
+    """A repro metric name rendered into the Prometheus name charset."""
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if not sanitized or not _NAME_OK.match(sanitized):
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value so it round-trips through ``float()`` exactly."""
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(value)
+
+
+def to_openmetrics(snapshot: Dict[str, Any]) -> str:
+    """The OpenMetrics text exposition of one registry snapshot."""
+    lines: List[str] = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        value = snapshot["counters"][name]
+        om_name = openmetrics_name(name)
+        lines.append(f"# TYPE {om_name} counter")
+        lines.append(f"{om_name}_total {_fmt(value)}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        value = snapshot["gauges"][name]
+        om_name = openmetrics_name(name)
+        lines.append(f"# TYPE {om_name} gauge")
+        lines.append(f"{om_name} {_fmt(value)}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        om_name = openmetrics_name(name)
+        lines.append(f"# TYPE {om_name} histogram")
+        count = int(data.get("count", 0))
+        bins = {int(key): int(value) for key, value in data.get("bins", {}).items()}
+        cumulative = 0
+        for index in sorted(bins):
+            bin_count = bins[index]
+            bound = bin_upper_bound(index)
+            if not math.isfinite(bound):
+                # The overflow bin's upper bound is +Inf; its occupants are
+                # covered by the mandatory le="+Inf" bucket emitted below.
+                continue
+            cumulative += bin_count
+            lines.append(f'{om_name}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        # Mandatory +Inf bucket: cumulative over *everything*, == _count.
+        lines.append(f'{om_name}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{om_name}_count {count}")
+        lines.append(f"{om_name}_sum {_fmt(data.get('sum', 0.0))}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> Dict[str, Dict[str, Any]]:
+    """Strictly parse the exposition subset :func:`to_openmetrics` emits.
+
+    Returns ``{family_name: {"type": ..., "samples": [(name, labels, value)]}}``
+    and raises :class:`ValueError` on anything malformed: a sample before its
+    ``# TYPE`` line, a histogram whose cumulative buckets decrease or whose
+    ``+Inf`` bucket disagrees with ``_count``, or a missing ``# EOF``
+    terminator.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    current: Optional[str] = None
+    saw_eof = False
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ValueError(f"line {line_number}: content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"line {line_number}: malformed TYPE line {line!r}")
+            _, _, family, family_type = parts
+            if family_type not in ("counter", "gauge", "histogram"):
+                raise ValueError(
+                    f"line {line_number}: unsupported family type {family_type!r}"
+                )
+            if family in families:
+                raise ValueError(f"line {line_number}: duplicate family {family!r}")
+            families[family] = {"type": family_type, "samples": []}
+            current = family
+            continue
+        if line.startswith("#"):
+            continue  # HELP/UNIT comments are legal noise
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_number}: malformed sample line {line!r}")
+        sample_name = match.group("name")
+        labels: Dict[str, str] = {}
+        if match.group("labels"):
+            for pair in match.group("labels").split(","):
+                label_match = _LABEL.match(pair.strip())
+                if label_match is None:
+                    raise ValueError(f"line {line_number}: malformed label {pair!r}")
+                labels[label_match.group("key")] = label_match.group("value")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {line_number}: non-numeric sample value {match.group('value')!r}"
+            )
+        if current is None or not _belongs_to(sample_name, current, families[current]["type"]):
+            raise ValueError(
+                f"line {line_number}: sample {sample_name!r} outside its TYPE family"
+            )
+        families[current]["samples"].append((sample_name, labels, value))
+    if not saw_eof:
+        raise ValueError("exposition is not terminated by # EOF")
+    for family, info in families.items():
+        if info["type"] == "histogram":
+            _validate_histogram(family, info["samples"])
+    return families
+
+
+def _belongs_to(sample_name: str, family: str, family_type: str) -> bool:
+    if family_type == "counter":
+        return sample_name == f"{family}_total"
+    if family_type == "gauge":
+        return sample_name == family
+    return sample_name in (f"{family}_bucket", f"{family}_count", f"{family}_sum")
+
+
+def _validate_histogram(
+    family: str, samples: List[Tuple[str, Dict[str, str], float]]
+) -> None:
+    buckets = [(labels, value) for name, labels, value in samples if name.endswith("_bucket")]
+    counts = [value for name, _, value in samples if name == f"{family}_count"]
+    if not buckets or len(counts) != 1:
+        raise ValueError(f"histogram {family!r} is missing buckets or _count")
+    previous = -math.inf
+    cumulative = -1.0
+    saw_inf = False
+    for labels, value in buckets:
+        if "le" not in labels:
+            raise ValueError(f"histogram {family!r} bucket without an le label")
+        bound = float(labels["le"])
+        if bound <= previous:
+            raise ValueError(f"histogram {family!r} bucket bounds not increasing")
+        if value < cumulative:
+            raise ValueError(f"histogram {family!r} buckets not cumulative")
+        previous, cumulative = bound, value
+        if math.isinf(bound):
+            saw_inf = True
+    if not saw_inf:
+        raise ValueError(f"histogram {family!r} is missing the +Inf bucket")
+    if buckets[-1][1] != counts[0]:
+        raise ValueError(f"histogram {family!r}: +Inf bucket != _count")
+
+
+def openmetrics_to_snapshot(text: str) -> Dict[str, Any]:
+    """Read an exposition back into snapshot shape (sanitised names).
+
+    The inverse of :func:`to_openmetrics` up to name sanitisation and bin
+    structure: counters and gauges recover their values exactly, histograms
+    recover exact ``count``/``sum`` (quantiles need the original bins — use
+    the ledger, not the exposition, for those).
+    """
+    snapshot: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for family, info in parse_openmetrics(text).items():
+        if info["type"] == "counter":
+            snapshot["counters"][family] = info["samples"][0][2]
+        elif info["type"] == "gauge":
+            snapshot["gauges"][family] = info["samples"][0][2]
+        else:
+            data: Dict[str, Any] = {"count": 0, "sum": 0.0}
+            for name, _, value in info["samples"]:
+                if name == f"{family}_count":
+                    data["count"] = int(value)
+                elif name == f"{family}_sum":
+                    data["sum"] = value
+            snapshot["histograms"][family] = data
+    return snapshot
+
+
+def export_openmetrics(path: PathLike, snapshot: Dict[str, Any]) -> Path:
+    """Write one snapshot's exposition to ``path`` (parents created)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(to_openmetrics(snapshot))
+    return target

@@ -15,13 +15,16 @@ collects lines instead of printing, which is how tests observe the cadence.
 
 from __future__ import annotations
 
+import math
 import sys
 import time
 from typing import Callable, List, Optional
 
 
 def _format_eta(seconds: float) -> str:
-    if seconds < 0 or not seconds == seconds:  # negative or NaN
+    # Negative, NaN and infinite remainders all render as unknown rather
+    # than crashing int(round(inf)) or printing "nan".
+    if not math.isfinite(seconds) or seconds < 0:
         return "?"
     seconds = int(round(seconds))
     if seconds < 60:
@@ -64,8 +67,13 @@ class Heartbeat:
         print(line, file=sys.stderr, flush=True)
 
     def format_line(self, done: int, executed: int, cache_hits: int, resumed: int) -> str:
-        elapsed = max(self._clock() - self._started, 1e-9)
-        rate = done / elapsed
+        # Zero-elapsed (first update on a coarse clock) and zero-rate (no jobs
+        # settled yet) intervals must never leak inf/nan or divide by zero
+        # into the progress line: rate degrades to 0 and the ETA to "?".
+        elapsed = self._clock() - self._started
+        rate = done / elapsed if elapsed > 0 else 0.0
+        if not math.isfinite(rate):
+            rate = 0.0
         remaining = self.total_jobs - done
         eta = _format_eta(remaining / rate) if rate > 0 else "?"
         provenance = []

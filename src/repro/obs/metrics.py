@@ -132,6 +132,34 @@ class Histogram:
                 return min(bound, self.maximum) if math.isfinite(bound) else self.maximum
         return self.maximum
 
+    def merge_snapshot(self, data: Dict[str, Any]) -> None:
+        """Absorb one histogram's snapshot dict (count/sum/min/max/bins sum exactly)."""
+        count = int(data.get("count", 0))
+        if count == 0:
+            return
+        self.count += count
+        self.total += float(data.get("sum", 0.0))
+        minimum = data.get("min")
+        maximum = data.get("max")
+        if minimum is not None and minimum < self.minimum:
+            self.minimum = float(minimum)
+        if maximum is not None and maximum > self.maximum:
+            self.maximum = float(maximum)
+        for index, bin_count in data.get("bins", {}).items():
+            index = int(index)
+            self.bins[index] = self.bins.get(index, 0) + int(bin_count)
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, Any]) -> "Histogram":
+        """Rebuild a histogram from its snapshot dict (the ledger/rollup path).
+
+        Bins are bin-exact under the fixed global scheme, so quantiles computed
+        on the reconstruction match quantiles computed on the live instrument.
+        """
+        histogram = cls()
+        histogram.merge_snapshot(data)
+        return histogram
+
 
 class _NoopInstrument:
     """One shared object standing in for every disabled instrument."""
@@ -215,21 +243,7 @@ class MetricsRegistry:
         for name, value in snapshot.get("gauges", {}).items():
             self.gauge(name).set(value)
         for name, data in snapshot.get("histograms", {}).items():
-            histogram = self.histogram(name)
-            count = int(data.get("count", 0))
-            if count == 0:
-                continue
-            histogram.count += count
-            histogram.total += float(data.get("sum", 0.0))
-            minimum = data.get("min")
-            maximum = data.get("max")
-            if minimum is not None and minimum < histogram.minimum:
-                histogram.minimum = float(minimum)
-            if maximum is not None and maximum > histogram.maximum:
-                histogram.maximum = float(maximum)
-            for index, bin_count in data.get("bins", {}).items():
-                index = int(index)
-                histogram.bins[index] = histogram.bins.get(index, 0) + int(bin_count)
+            self.histogram(name).merge_snapshot(data)
 
 
 class NoopMetrics:

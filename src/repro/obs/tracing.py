@@ -146,12 +146,17 @@ class Tracer:
                 self._ring.append(record)
 
 
-def spans_to_chrome_trace(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+def spans_to_chrome_trace(
+    records: List[Dict[str, Any]], dropped: int = 0
+) -> Dict[str, Any]:
     """Convert span records into a Chrome trace-event JSON document.
 
     Every record becomes one complete (``"ph": "X"``) event; timestamps are
     rebased to the earliest span so the trace opens at t=0 regardless of the
     wall-clock epoch, and per-process metadata names each pid's track.
+    ``dropped`` (spans evicted from a full ring before export) is carried in
+    the document's ``otherData`` so a truncated trace is distinguishable from
+    a complete one after the tracer is gone.
     """
     if records:
         origin_ns = min(record["ts_ns"] for record in records)
@@ -184,11 +189,19 @@ def spans_to_chrome_trace(records: List[Dict[str, Any]]) -> Dict[str, Any]:
         if record.get("args"):
             event["args"] = record["args"]
         events.append(event)
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if dropped:
+        document["otherData"] = {"spans_dropped": int(dropped)}
+    return document
 
 
 def chrome_trace_to_spans(document: Dict[str, Any]) -> List[Dict[str, Any]]:
-    """Inverse of :func:`spans_to_chrome_trace` (modulo the t=0 rebasing)."""
+    """Inverse of :func:`spans_to_chrome_trace` (modulo the t=0 rebasing).
+
+    Only the retained window is recoverable; the number of spans the ring
+    dropped before export is preserved separately — read it back with
+    :func:`chrome_trace_drop_count` on the same document.
+    """
     records = []
     for event in document.get("traceEvents", []):
         if event.get("ph") != "X":
@@ -204,6 +217,11 @@ def chrome_trace_to_spans(document: Dict[str, Any]) -> List[Dict[str, Any]]:
             }
         )
     return records
+
+
+def chrome_trace_drop_count(document: Dict[str, Any]) -> int:
+    """Spans the ring dropped before the document was exported (0 if complete)."""
+    return int(document.get("otherData", {}).get("spans_dropped", 0))
 
 
 _tracer: Optional[Tracer] = None
@@ -252,11 +270,22 @@ def collecting_trace(capacity: int = DEFAULT_RING_CAPACITY) -> Iterator[Tracer]:
         _tracer = previous
 
 
-def export_chrome_trace(path, records: Optional[List[Dict[str, Any]]] = None) -> Path:
-    """Write the tracer's records (or ``records``) as a Chrome trace JSON file."""
+def export_chrome_trace(
+    path,
+    records: Optional[List[Dict[str, Any]]] = None,
+    dropped: Optional[int] = None,
+) -> Path:
+    """Write the tracer's records (or ``records``) as a Chrome trace JSON file.
+
+    When exporting the installed tracer, its ring-drop counter rides along in
+    the document automatically; pass ``dropped`` explicitly when exporting a
+    foreign record list that lost spans elsewhere.
+    """
     if records is None:
         records = _tracer.records() if _tracer is not None else []
+        if dropped is None and _tracer is not None:
+            dropped = _tracer.dropped
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(json.dumps(spans_to_chrome_trace(records)))
+    target.write_text(json.dumps(spans_to_chrome_trace(records, dropped=dropped or 0)))
     return target

@@ -211,7 +211,9 @@ class DqnTrainer:
         """One optimizer update from one mini-batch."""
         metrics = get_metrics()
         started = time.perf_counter() if metrics.enabled else 0.0
-        with span("train.gradient_step", backend=self.backend.name):
+        with span(
+            "train.gradient_step", backend=self.backend.name, device=self.backend.device
+        ):
             self.optimizer.zero_grad()
             loss_value = self.accumulate_gradients(batch)
             self.optimizer.step()
@@ -219,8 +221,11 @@ class DqnTrainer:
         if metrics.enabled:
             metrics.counter("train.gradient_steps").inc()
             metrics.histogram("train.loss").observe(loss_value)
-            metrics.counter(f"train.backend.{self.backend.name}.gradient_steps").inc()
-            metrics.histogram(f"train.backend.{self.backend.name}.gradient_step_s").observe(
+            # metric_tag carries the device for device-selecting backends
+            # ("torch.cpu"/"torch.cuda"), so GPU and CPU runs never share a series.
+            tag = self.backend.metric_tag
+            metrics.counter(f"train.backend.{tag}.gradient_steps").inc()
+            metrics.histogram(f"train.backend.{tag}.gradient_step_s").observe(
                 time.perf_counter() - started
             )
         return loss_value

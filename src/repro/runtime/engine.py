@@ -23,6 +23,11 @@ attaches the merged registry snapshot to the returned :class:`SweepReport`.
 Every resolution decision is also routed through the ``repro.runtime.engine``
 logger, and an optional :class:`~repro.obs.Heartbeat` emits a rate-limited
 progress line as jobs settle.
+
+When constructed with a :class:`~repro.obs.RunLedger`, the engine appends one
+durable run record (metrics snapshot, span rollup, environment fingerprint,
+provenance counts) at the end of every hermetic run — the cross-run
+trajectory ``repro-runtime obs history/diff/check`` queries.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.obs import Heartbeat, get_metrics, get_tracer, span
+from repro.obs import Heartbeat, RunLedger, get_metrics, get_tracer, span
 from repro.runtime.cache import MISS, ResultCache
 from repro.runtime.executor import Executor, SerialExecutor
 from repro.runtime.jobs import ExecutionContext, SweepSpec
@@ -109,6 +114,7 @@ class SweepRunner:
         resume: bool = True,
         heartbeat_interval: Optional[float] = None,
         heartbeat_emit: Optional[Callable[[str], None]] = None,
+        ledger: Optional["RunLedger"] = None,
     ) -> None:
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
@@ -116,6 +122,7 @@ class SweepRunner:
         self.resume = resume
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_emit = heartbeat_emit
+        self.ledger = ledger
 
     def _journal_for(self, sweep: SweepSpec, hermetic: bool) -> Optional[Journal]:
         if self.journal_dir is None or not hermetic:
@@ -249,6 +256,18 @@ class SweepRunner:
                 report.journal_path = str(journal.path)
             if metrics.enabled:
                 report.metrics = metrics.snapshot()
+            if self.ledger is not None and use_persistence:
+                # Ledger writes are best-effort telemetry: a full disk or a
+                # read-only checkout must not turn a finished sweep into a
+                # failure.  Failed runs are recorded too (counts.failed > 0) —
+                # a regression that also breaks jobs should not hide itself.
+                with span("engine.ledger_write"):
+                    try:
+                        self.ledger.record_sweep(sweep, report, failures=len(failures))
+                    except Exception:
+                        logger.warning(
+                            "run ledger write to %s failed", self.ledger.path, exc_info=True
+                        )
             root.set_attribute("executed", report.executed)
             root.set_attribute("cache_hits", report.cache_hits)
             root.set_attribute("resumed", report.resumed)

@@ -19,6 +19,7 @@ from repro.obs import (
     MetricsRegistry,
     NOOP_METRICS,
     TelemetrySink,
+    chrome_trace_drop_count,
     chrome_trace_to_spans,
     collecting_metrics,
     collecting_trace,
@@ -36,7 +37,7 @@ from repro.obs import (
     tracing_enabled,
 )
 from repro.obs.heartbeat import _format_eta
-from repro.obs.metrics import _NOOP_INSTRUMENT, bin_index, bin_upper_bound
+from repro.obs.metrics import _NOOP_INSTRUMENT, Histogram, bin_index, bin_upper_bound
 from repro.obs.tracing import NOOP_SPAN
 from repro.runtime.engine import SweepRunner
 from repro.runtime.executor import MultiprocessExecutor
@@ -144,6 +145,55 @@ class TestMetricsRegistry:
         assert h.quantile(0.5) < 1.0
         assert h.quantile(0.99) == pytest.approx(10.0)
 
+    def test_quantile_single_observation_returns_it_exactly(self):
+        """Corner: with one sample every quantile is that sample, not a bin
+        bound — the min(bound, maximum) clamp."""
+        h = Histogram()
+        h.observe(0.0123)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 0.0123
+
+    def test_quantile_at_bin_edges(self):
+        h = Histogram()
+        # 0.01 sits exactly on a decade edge of the log-binned scheme.
+        edge = 0.01
+        assert bin_upper_bound(bin_index(edge) - 1) == pytest.approx(edge)
+        for _ in range(4):
+            h.observe(edge)
+        assert h.quantile(0.5) == edge
+        # An underflow-bin population (value <= 0) clamps to the true maximum
+        # rather than reporting the underflow bin's bound.
+        h_low = Histogram()
+        h_low.observe(0.0)
+        assert h_low.quantile(0.5) == 0.0
+        # Overflow bin: the bound is +inf, so the clamp must report the max.
+        h_high = Histogram()
+        h_high.observe(1e12)
+        assert h_high.quantile(0.5) == 1e12
+        assert h_high.quantile(1.0) == 1e12
+
+    def test_quantile_rejects_out_of_range(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        assert Histogram().quantile(0.5) == 0.0  # empty histogram
+
+    def test_histogram_snapshot_roundtrip_is_bin_exact(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h")
+        for v in (0.001, 0.02, 0.02, 0.4, 7.0, 7.0, 7.0):
+            h.observe(v)
+        data = json.loads(json.dumps(registry.snapshot()))["histograms"]["h"]
+        rebuilt = Histogram.from_snapshot(data)
+        assert rebuilt.count == h.count
+        assert rebuilt.total == h.total
+        assert (rebuilt.minimum, rebuilt.maximum) == (h.minimum, h.maximum)
+        for q in (0.1, 0.5, 0.9, 0.95):
+            assert rebuilt.quantile(q) == h.quantile(q)
+
 
 class TestNoopFastPath:
     def test_disabled_registry_is_the_shared_singleton(self):
@@ -228,6 +278,45 @@ class TestTracing:
         for original, restored in zip(records, back):
             # Durations survive the ns -> us -> ns round trip to rounding.
             assert restored["dur_ns"] == pytest.approx(original["dur_ns"], abs=1000)
+
+    def test_export_with_dropped_spans_preserves_drop_count(self, tmp_path):
+        """Round trip with a saturated ring: the retained window exports and
+        the drop counter survives the document so a truncated trace stays
+        distinguishable from a complete one."""
+        with collecting_trace(capacity=3) as tracer:
+            for i in range(8):
+                with span(f"s{i}"):
+                    pass
+            records = tracer.records()
+            dropped = tracer.dropped
+        assert dropped == 5
+        path = export_chrome_trace(tmp_path / "trace.json", records, dropped=dropped)
+        document = json.loads(path.read_text())
+        assert chrome_trace_drop_count(document) == 5
+        back = chrome_trace_to_spans(document)
+        assert [r["name"] for r in back] == ["s5", "s6", "s7"]
+        # Re-exporting the recovered spans keeps the counter explicit.
+        redocument = spans_to_chrome_trace(back, dropped=chrome_trace_drop_count(document))
+        assert chrome_trace_drop_count(redocument) == 5
+
+    def test_export_of_installed_tracer_autofills_drop_count(self, tmp_path):
+        enable_tracing(capacity=2)
+        for i in range(5):
+            with span(f"s{i}"):
+                pass
+        path = export_chrome_trace(tmp_path / "trace.json")
+        document = json.loads(path.read_text())
+        assert chrome_trace_drop_count(document) == 3
+        assert len(chrome_trace_to_spans(document)) == 2
+
+    def test_complete_trace_reports_zero_drops(self, tmp_path):
+        with collecting_trace() as tracer:
+            with span("only"):
+                pass
+            records = tracer.records()
+        document = spans_to_chrome_trace(records)
+        assert chrome_trace_drop_count(document) == 0
+        assert "otherData" not in document
 
     def test_absorb_merges_foreign_records(self):
         with collecting_trace() as tracer:
@@ -427,7 +516,26 @@ class TestHeartbeat:
         assert _format_eta(125) == "2m05s"
         assert _format_eta(7230) == "2h00m"
         assert _format_eta(float("nan")) == "?"
+        assert _format_eta(float("inf")) == "?"
         assert _format_eta(-3) == "?"
+
+    def test_zero_elapsed_interval_never_leaks_inf_or_nan(self):
+        """Regression: the first update on a coarse clock has elapsed == 0;
+        the line must degrade to 0.0 jobs/s + unknown ETA, not crash or
+        print inf/nan."""
+        heartbeat, clock, _ = self._beat(0.0, total=10)
+        line = heartbeat.format_line(3, 3, 0, 0)  # clock never advanced
+        assert "0.0 jobs/s" in line
+        assert "eta ?" in line
+        for forbidden in ("inf", "nan"):
+            assert forbidden not in line
+
+    def test_zero_rate_interval_reports_unknown_eta(self):
+        heartbeat, clock, _ = self._beat(0.0, total=10)
+        clock[0] = 4.0
+        line = heartbeat.format_line(0, 0, 0, 0)  # nothing settled yet
+        assert "0.0 jobs/s" in line
+        assert "eta ?" in line
 
 
 class _FakeHistory:

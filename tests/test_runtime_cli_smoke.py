@@ -12,7 +12,7 @@ import re
 
 import pytest
 
-from repro.obs import chrome_trace_to_spans
+from repro.obs import RunLedger, chrome_trace_to_spans
 from repro.runtime.cli import main
 from repro.runtime.journal import Journal
 from repro.runtime.registry import get_registered_sweep
@@ -36,6 +36,8 @@ class TestGeneralizationRolloutsCliSmoke:
                 str(tmp_path / "cache"),
                 "--journal-dir",
                 str(tmp_path / "journals"),
+                "--ledger",
+                str(tmp_path / "ledger.jsonl"),
                 "--format",
                 "none",
             ]
@@ -43,6 +45,13 @@ class TestGeneralizationRolloutsCliSmoke:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "4/48 jobs" in output
+
+        # The run also left one fingerprinted record in the run ledger.
+        ledger_records = RunLedger(tmp_path / "ledger.jsonl").records()
+        assert len(ledger_records) == 1
+        assert ledger_records[0].name == "generalization-rollouts"
+        assert ledger_records[0].counts["executed"] == 4
+        assert ledger_records[0].fingerprint["python"]
 
         # The slice is journaled under the sweep's identity, so the remaining
         # shards (or a full re-run) resume from these four results.
@@ -77,6 +86,7 @@ class TestGeneralizationRolloutsCliSmoke:
                 str(trace_path),
                 "--metrics",
                 str(metrics_path),
+                "--no-ledger",
             ]
         )
         assert exit_code == 0
@@ -118,6 +128,7 @@ class TestGeneralizationRolloutsCliSmoke:
                     str(tmp_path / "cache"),
                     "--journal-dir",
                     str(tmp_path / "journals"),
+                    "--no-ledger",
                     "--format",
                     "none",
                     "--quiet",
@@ -144,6 +155,29 @@ class TestGeneralizationRolloutsCliSmoke:
         assert "p95_s" in output
         assert "slowest jobs" in output
 
+        # --format json emits the same tables machine-readably (satellite for
+        # CI / obs tooling): pure JSON on stdout, same p50/p95 numbers.
+        assert (
+            main(
+                [
+                    "report",
+                    "generalization-rollouts",
+                    "--journal-dir",
+                    str(tmp_path / "journals"),
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sweep"] == "generalization-rollouts"
+        titles = [table["title"] for table in payload["tables"]]
+        assert any("journaled job latency" in title for title in titles)
+        summary_rows = payload["tables"][0]["rows"]
+        assert summary_rows and summary_rows[0]["timed"] == 4
+        assert summary_rows[0]["p95_s"] >= summary_rows[0]["p50_s"]
+
     def test_report_without_journal_fails_cleanly(self, tmp_path, capsys):
         assert (
             main(["report", "generalization-rollouts", "--journal-dir", str(tmp_path)])
@@ -163,6 +197,7 @@ class TestGeneralizationRolloutsCliSmoke:
                     str(tmp_path / "cache"),
                     "--journal-dir",
                     str(tmp_path / "journals"),
+                    "--no-ledger",
                     "--format",
                     "none",
                     "--quiet",
