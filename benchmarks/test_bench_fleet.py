@@ -1,0 +1,101 @@
+"""Benchmark: city-scale fleet lockstep advancement.
+
+One :meth:`~repro.fleet.sim.FleetSim.step` advances every airborne vehicle
+through a handful of fleet-wide batched queries — a timed ray fan, two timed
+segment sweeps, and prescreened conflict detection — so the per-step cost
+must stay sub-linear in python dispatch as the fleet grows.  The 1000-UAV
+group is the acceptance workload: a fleet the spatial-hash prescreen was
+built for (the all-pairs candidate set alone would be ~500k pairs/step).
+
+Timings land in the PR 8 benchmark ledger like every other group (one
+``bench.<name>.duration_s`` histogram per benchmark via conftest).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.fleet import FleetConfig, FleetSim
+from repro.fleet.conflicts import all_pairs
+from repro.worlds.dynamic import DynamicObstacleField, MovingObstacle
+
+NUM_VEHICLES = 1000
+BENCH_STEPS = 10
+
+
+def _city_field() -> DynamicObstacleField:
+    """A 150x150 m airspace: scattered static blockers plus patrol movers."""
+    rng = np.random.default_rng(42)
+    num_static = 60
+    movers = tuple(
+        MovingObstacle(
+            waypoints=rng.uniform(10.0, 140.0, size=(4, 2)),
+            radius=1.0,
+            speed_m_s=2.0,
+            phase_m=float(rng.uniform(0.0, 30.0)),
+        )
+        for _ in range(12)
+    )
+    return DynamicObstacleField(
+        world_size=(150.0, 150.0),
+        centers=rng.uniform(5.0, 145.0, size=(num_static, 2)),
+        radii=rng.uniform(0.8, 2.5, size=num_static),
+        movers=movers,
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet_setup():
+    field = _city_field()
+    config = FleetConfig(
+        num_vehicles=NUM_VEHICLES,
+        max_steps=BENCH_STEPS,
+        num_chargers=16,
+        separation_m=0.8,
+    )
+    return field, config
+
+
+def _run_steps(field, config):
+    sim = FleetSim(field, config, rng=0)
+    for _ in range(BENCH_STEPS):
+        sim.step()
+    return sim
+
+
+@pytest.mark.benchmark(group="fleet-1000-uav")
+def test_bench_fleet_1000_steps(benchmark, fleet_setup):
+    field, config = fleet_setup
+    sim = benchmark.pedantic(_run_steps, args=(field, config), rounds=3, iterations=1)
+    assert sim.step_index == BENCH_STEPS
+    assert int(np.count_nonzero(sim.airborne)) > NUM_VEHICLES // 2
+    print(f"\n[fleet] {NUM_VEHICLES} UAVs, {BENCH_STEPS} lockstep steps per round")
+
+
+def test_fleet_1000_steps_per_second():
+    """Acceptance: the 1000-UAV lockstep core sustains whole-fleet steps at
+    interactive rates, and the prescreen keeps exact conflict checks to a
+    small fraction of the ~500k all-pairs set."""
+    from repro.obs import collecting_metrics
+
+    field = _city_field()
+    config = FleetConfig(num_vehicles=NUM_VEHICLES, max_steps=BENCH_STEPS)
+
+    best = float("inf")
+    with collecting_metrics() as registry:
+        for _ in range(3):
+            start = time.perf_counter()
+            _run_steps(field, config)
+            best = min(best, time.perf_counter() - start)
+    steps_per_s = BENCH_STEPS / best
+    snapshot = registry.snapshot()
+    checked = snapshot["counters"].get("fleet.conflict_checks", 0)
+    candidate_budget = 3 * BENCH_STEPS * all_pairs(NUM_VEHICLES).shape[0]
+    print(
+        f"\n[fleet] {steps_per_s:.1f} fleet-steps/s at N={NUM_VEHICLES} "
+        f"({steps_per_s * NUM_VEHICLES:.0f} vehicle-steps/s); "
+        f"exact conflict checks {checked} of {candidate_budget} all-pairs"
+    )
+    assert steps_per_s >= 1.0
+    assert 0 < checked < candidate_budget / 10

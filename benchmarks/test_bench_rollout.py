@@ -12,6 +12,7 @@ many-fault-maps evaluation (quantize-once + batched missions vs single-lane).
 """
 
 import time
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -23,6 +24,7 @@ from repro.envs.vector import run_episode
 from repro.experiments.profiles import FAST_PROFILE
 from repro.nn.policies import build_policy, mlp
 from repro.rl.evaluation import evaluate_under_faults, greedy_policy
+from repro.worlds.spec import WorldSpec
 
 NUM_EPISODES = 64
 RESET_SEED = 100
@@ -103,6 +105,75 @@ def test_batched_speedup_at_b64():
         f"batched {NUM_EPISODES / batched_s:.0f} eps/s, speedup {speedup:.1f}x"
     )
     assert speedup >= 5.0
+
+
+def _dynamic_config():
+    return replace(
+        FAST_PROFILE.navigation_for_density(ObstacleDensity.SPARSE),
+        world_spec=WorldSpec("dynamic", seed=2),
+    )
+
+
+@pytest.fixture(scope="module")
+def dynamic_rollout_setup():
+    config = _dynamic_config()
+    serial_env = NavigationEnv(config, rng=7)
+    batched_env = BatchedNavigationEnv.from_env(
+        NavigationEnv(config, rng=7), batch_size=NUM_EPISODES
+    )
+    return serial_env, batched_env, _policy_for(serial_env)
+
+
+@pytest.mark.benchmark(group="rollout-dynamic-64-episodes")
+def test_bench_dynamic_rollout_serial(benchmark, dynamic_rollout_setup):
+    serial_env, _, policy = dynamic_rollout_setup
+    results = benchmark.pedantic(
+        _run_serial, args=(serial_env, policy), rounds=3, iterations=1
+    )
+    assert len(results) == NUM_EPISODES
+    print(f"\n[dynamic] serial rollout: an at_time() snapshot per episode-step")
+
+
+@pytest.mark.benchmark(group="rollout-dynamic-64-episodes")
+def test_bench_dynamic_rollout_batched(benchmark, dynamic_rollout_setup):
+    serial_env, batched_env, policy = dynamic_rollout_setup
+    results = benchmark.pedantic(
+        _run_batched, args=(batched_env, policy), rounds=3, iterations=1
+    )
+    # Lanes finish at different steps, so the batch carries desynchronised
+    # episode clocks through one timed query per step — still bit-identical.
+    assert results == _run_serial(serial_env, policy)
+    print(f"\n[dynamic] batched rollout (B={NUM_EPISODES}): one timed query per step")
+
+
+def test_dynamic_batched_speedup_at_b64():
+    """Acceptance gate: >= 4x episodes/sec on a moving-obstacle world at
+    B = 64, where per-row times (desynchronised lane clocks) previously forced
+    one ``at_time`` snapshot per distinct (field, time) group."""
+    config = _dynamic_config()
+    serial_env = NavigationEnv(config, rng=7)
+    batched_env = BatchedNavigationEnv.from_env(
+        NavigationEnv(config, rng=7), batch_size=NUM_EPISODES
+    )
+    policy = _policy_for(serial_env)
+    assert _run_batched(batched_env, policy) == _run_serial(serial_env, policy)
+
+    def best_of(fn, *args, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn(*args)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    serial_s = best_of(_run_serial, serial_env, policy)
+    batched_s = best_of(_run_batched, batched_env, policy)
+    speedup = serial_s / batched_s
+    print(
+        f"\n[dynamic] serial {NUM_EPISODES / serial_s:.0f} eps/s, "
+        f"batched {NUM_EPISODES / batched_s:.0f} eps/s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 4.0
 
 
 @pytest.fixture(scope="module")

@@ -423,13 +423,6 @@ class BatchedNavigationEnv:
         return out
 
     # ------------------------------------------------------------------ observations
-    def _lane_field_now(self, lane: int) -> ObstacleField:
-        """The lane's field frozen at the lane's current episode time."""
-        field = self._fields[lane]
-        if getattr(field, "num_movers", 0) > 0:
-            return field.at_time(float(self._times[lane]))
-        return field
-
     def _group_by_field(self, lanes: np.ndarray):
         """Yield ``(field, row_offsets)`` grouping ``lanes`` by field object."""
         groups: Dict[int, List[int]] = {}
@@ -444,46 +437,71 @@ class BatchedNavigationEnv:
     def _observe_lanes(self, lanes: np.ndarray) -> np.ndarray:
         """Observations for ``lanes``, one batched sensor query per field.
 
-        Lanes over the same static field share a single batched ray/occupancy
-        query (the common case: every lane of a fixed-world evaluation).
-        Dynamic worlds additionally split by episode time, because each lane
-        sees the movers at its own clock.
+        Lanes over the same field share a single batched ray/occupancy query
+        regardless of clock skew: static fields through the plain batched
+        sensors, dynamic fields through the time-parameterised ones with each
+        lane's episode clock as its row time — no per-``(field, time)``
+        snapshot construction.
         """
         with span("rollout.ray_cast"):
             return self._observe_lanes_inner(lanes)
 
     def _observe_lanes_inner(self, lanes: np.ndarray) -> np.ndarray:
+        # Fast path: every lane over one shared field (the common case — a
+        # fixed-world evaluation batch, or one generated world across all
+        # lanes) needs no python group-build at all.
+        first = self._fields[int(lanes[0])]
+        if all(self._fields[int(lane)] is first for lane in lanes[1:]):
+            if getattr(first, "num_movers", 0) > 0:
+                return self._observe_group(first, lanes, times=self._times[lanes])
+            return self._observe_group(first, lanes)
         observations = np.empty(
             (lanes.size,) + self.observation_space.shape, dtype=np.float64
         )
-        groups: Dict[Tuple[int, Optional[float]], List[int]] = {}
-        for row, lane in enumerate(lanes):
-            field = self._fields[lane]
-            dynamic = getattr(field, "num_movers", 0) > 0
-            key = (id(field), float(self._times[lane]) if dynamic else None)
-            groups.setdefault(key, []).append(row)
-        for (field_id, time_key), rows in groups.items():
-            row_array = np.asarray(rows, dtype=np.int64)
-            group_lanes = lanes[row_array]
-            field = self._fields[int(group_lanes[0])]
-            snapshot = field.at_time(time_key) if time_key is not None else field
-            observations[row_array] = self._observe_group(snapshot, group_lanes)
+        for field, rows in self._group_by_field(lanes):
+            group_lanes = lanes[rows]
+            if getattr(field, "num_movers", 0) > 0:
+                observations[rows] = self._observe_group(
+                    field, group_lanes, times=self._times[group_lanes]
+                )
+            else:
+                observations[rows] = self._observe_group(field, group_lanes)
         return observations
 
-    def _observe_group(self, snapshot: ObstacleField, lanes: np.ndarray) -> np.ndarray:
+    def _observe_group(
+        self,
+        field: ObstacleField,
+        lanes: np.ndarray,
+        times: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Sensor observations for ``lanes`` over one shared ``field``.
+
+        ``times`` (dynamic fields only) carries each lane's episode clock;
+        the timed sensor front-ends evaluate the movers at per-lane times in
+        the same batched query, bit-identical to sensing one ``at_time``
+        snapshot per lane.
+        """
         config = self.config
         positions = self._positions[lanes]
         headings = self._headings[lanes]
         goals = self._goals[lanes]
         if config.observation == "image":
-            return config.imager.render_many(snapshot, positions, headings, goals)
-        rays = config.ray_sensor.sense_many(snapshot, positions, headings)
+            if times is not None:
+                return config.imager.render_many_timed(
+                    field, positions, headings, goals, times
+                )
+            return config.imager.render_many(field, positions, headings, goals)
+        if times is not None:
+            rays = config.ray_sensor.sense_many_timed(field, positions, headings, times)
+        else:
+            rays = config.ray_sensor.sense_many(field, positions, headings)
         if self._sensor_layers:
-            for row, lane in enumerate(lanes):
-                degraded = rays[row]
-                for degradation in self._sensor_layers:
-                    degraded = degradation.apply(degraded, self._rngs[lane])
-                rays[row] = degraded
+            # Layers outer, lanes inner: per-lane generators are independent
+            # streams, so batching across lanes keeps every lane's own draw
+            # order (noise before dropout, layers in sequence) untouched.
+            rngs = [self._rngs[int(lane)] for lane in lanes]
+            for degradation in self._sensor_layers:
+                rays = degradation.apply_batch(rays, rngs)
         goal_vectors = goals - positions
         goal_distances = planar_distances(goal_vectors)
         goal_bearings = np.arctan2(goal_vectors[:, 1], goal_vectors[:, 0]) - headings

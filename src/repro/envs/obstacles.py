@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -208,18 +208,59 @@ class ObstacleField:
         flat_angles = angles.reshape(-1)
         directions = np.stack([np.cos(flat_angles), np.sin(flat_angles)], axis=-1)
         flat_origins = np.repeat(origins, angles.shape[1], axis=0)
-        num_rays = flat_angles.size
+        return self._march_rays(flat_origins, directions, marches, max_range).reshape(
+            angles.shape
+        )
+
+    def _march_rays(
+        self,
+        flat_origins: np.ndarray,
+        directions: np.ndarray,
+        marches: np.ndarray,
+        max_range: float,
+        point_clearances: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+    ) -> np.ndarray:
+        """First-hit march shared by the static and time-parameterised queries.
+
+        ``point_clearances(points, ray_indices)`` evaluates the clearance of
+        sample points, where ``ray_indices[k]`` is the flattened ray each
+        point belongs to — the hook :class:`~repro.worlds.dynamic.
+        DynamicObstacleField` uses to place movers at each ray's own time.
+        ``None`` selects the static field's :meth:`clearances` (every ray sees
+        the same geometry).  The skip logic is per-ray, so the 1-Lipschitz
+        sphere-tracing argument holds whenever each individual ray sees a
+        fixed geometry, even if different rays see different ones.
+        """
+        clearances = (
+            (lambda points, rays: self.clearances(points))
+            if point_clearances is None
+            else point_clearances
+        )
+        num_rays = flat_origins.shape[0]
+
+        def dense_hits(rays: np.ndarray) -> np.ndarray:
+            """Collision mask of the full march grid for ``rays`` (bitwise the
+            inherited ``_collide_mask(points, 0.0)`` when the field is static)."""
+            points = (
+                flat_origins[rays][:, None, :]
+                + marches[None, :, None] * directions[rays][:, None, :]
+            ).reshape(-1, 2)
+            width, height = self.world_size
+            xs, ys = points[:, 0], points[:, 1]
+            out = (xs < 0.0) | (xs > width) | (ys < 0.0) | (ys > height)
+            sample_rays = np.repeat(rays, marches.size)
+            return (out | (clearances(points, sample_rays) < 0.0)).reshape(
+                rays.size, marches.size
+            )
+
         # A single sensor fan is cheaper as one dense march (one numpy call);
         # wide lockstep batches win big from sphere tracing below.  Both
         # strategies return bit-identical first-hit distances.
         if num_rays < 32:
-            points = flat_origins[:, None, :] + marches[None, :, None] * directions[:, None, :]
-            hits = self._collide_mask(points.reshape(-1, 2), 0.0).reshape(
-                num_rays, marches.size
-            )
+            hits = dense_hits(np.arange(num_rays))
             any_hit = hits.any(axis=1)
             first_hit = np.argmax(hits, axis=1)
-            return np.where(any_hit, marches[first_hit], max_range).reshape(angles.shape)
+            return np.where(any_hit, marches[first_hit], max_range)
         # Sphere tracing over the march grid: a sample with clearance c proves
         # every sample within arc distance c of it collision-free (clearance
         # is 1-Lipschitz), so those march samples are skipped without being
@@ -237,20 +278,14 @@ class ObstacleField:
                 # clearances would otherwise dominate the iteration count.
                 # The dense march of the full grid yields the same first hit
                 # (all skipped samples were proven collision-free).
-                points = (
-                    flat_origins[rays][:, None, :]
-                    + marches[None, :, None] * directions[rays][:, None, :]
-                )
-                hits = self._collide_mask(points.reshape(-1, 2), 0.0).reshape(
-                    rays.size, marches.size
-                )
+                hits = dense_hits(rays)
                 any_hit = hits.any(axis=1)
                 first_hit = np.argmax(hits, axis=1)
                 distances[rays] = np.where(any_hit, marches[first_hit], max_range)
                 break
             sampled = marches[indices[rays]]
             points = flat_origins[rays] + sampled[:, None] * directions[rays]
-            clearance = self.clearances(points)
+            clearance = clearances(points, rays)
             hit = clearance < 0.0
             distances[rays[hit]] = sampled[hit]
             alive[rays[hit]] = False
@@ -261,7 +296,7 @@ class ObstacleField:
                 exhausted = skipped_to >= marches.size
                 alive[live[exhausted]] = False
                 indices[live[~exhausted]] = skipped_to[~exhausted]
-        return distances.reshape(angles.shape)
+        return distances
 
     def ray_distances(
         self,

@@ -1,0 +1,103 @@
+"""Streaming moment accumulation for Monte-Carlo fleet aggregation.
+
+:class:`StreamingMoments` keeps Welford running moments (count, mean, M2) so
+a fleet sweep can stream an unbounded number of episode statistics through
+O(1) memory — no per-episode storage — and still report an exact mean,
+unbiased variance and a normal-approximation 95 % confidence interval.
+Accumulators merge exactly (Chan's parallel update), so sharded jobs can
+combine their partial moments without replaying episodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Two-sided 95 % normal quantile used for the streaming confidence interval.
+_Z95 = 1.959963984540054
+
+
+@dataclass
+class StreamingMoments:
+    """Welford running (count, mean, M2) over a stream of scalars."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def update(self, value: float) -> None:
+        """Fold one observation into the running moments."""
+        self.count += 1
+        delta = float(value) - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (float(value) - self.mean)
+
+    def update_many(self, values: np.ndarray) -> None:
+        """Fold a batch of observations (one Chan merge, not a python loop)."""
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if values.size == 0:
+            return
+        batch = StreamingMoments(
+            count=int(values.size),
+            mean=float(values.mean()),
+            m2=float(((values - values.mean()) ** 2).sum()),
+        )
+        self.merge(batch)
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Combine ``other``'s moments into this accumulator exactly."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self.m2 = other.count, other.mean, other.m2
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.count = total
+
+    # ------------------------------------------------------------------ derived statistics
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0 for fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self.m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.count < 2:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    @property
+    def ci95(self) -> tuple:
+        """Normal-approximation 95 % confidence interval for the mean."""
+        half = _Z95 * self.sem
+        return (self.mean - half, self.mean + half)
+
+    # ------------------------------------------------------------------ serialisation
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {"count": self.count, "mean": self.mean, "m2": self.m2}
+
+    @staticmethod
+    def from_jsonable(payload: Mapping[str, Any]) -> "StreamingMoments":
+        try:
+            return StreamingMoments(
+                count=int(payload["count"]),
+                mean=float(payload["mean"]),
+                m2=float(payload["m2"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigurationError(f"malformed moments payload: {error}") from None

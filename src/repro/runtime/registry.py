@@ -236,6 +236,7 @@ def _assemble_scenarios(sweep: SweepSpec, results: Sequence[Any]) -> Table:
 def _register_all() -> None:
     from repro.core import scenarios as scenarios_module
     from repro.experiments import fig5, fig7, generalization, table2
+    from repro.fleet import reliability as fleet_reliability
 
     register_sweep(
         "fig5",
@@ -278,6 +279,12 @@ def _register_all() -> None:
         "Generated worlds (6 families x 2 presets x 5 seeds) x platforms x policies x BER",
         generalization.generalization_sweep_spec,
         generalization.assemble_generalization,
+    )
+    register_sweep(
+        "fleet-reliability",
+        "Fleet success/conflict/energy vs supply voltage (streaming Monte-Carlo)",
+        fleet_reliability.fleet_reliability_sweep_spec,
+        fleet_reliability.assemble_fleet_reliability,
     )
     register_sweep(
         "generalization-rollouts",

@@ -109,6 +109,120 @@ class DynamicObstacleField(ObstacleField):
     def num_movers(self) -> int:
         return len(self.movers)
 
+    @cached_property
+    def _mover_radii(self) -> np.ndarray:
+        return np.array([mover.radius for mover in self.movers], dtype=np.float64)
+
+    def _mover_clearances(self, points: np.ndarray, times_s: np.ndarray) -> np.ndarray:
+        """Distance from each point to the nearest mover surface at its own time.
+
+        ``points`` is ``(P, 2)`` and ``times_s`` ``(P,)`` — point ``i`` sees
+        every mover placed at ``times_s[i]``.  The per-element arithmetic
+        (``sqrt(dx² + dy²) - radius``, min over movers) is exactly the slice
+        of the static :meth:`~repro.envs.obstacles.ObstacleField.clearances`
+        distance matrix the movers occupy in an :meth:`at_time` snapshot, so
+        combining this with the static clearance via ``np.minimum``
+        reproduces the snapshot's clearance bitwise.
+        """
+        # (M, P, 2) mover centres at every point's instant.
+        centers = np.stack([mover.positions_at(times_s) for mover in self.movers])
+        deltas = points[None, :, :] - centers
+        distances = np.sqrt(np.sum(deltas**2, axis=2)) - self._mover_radii[:, None]
+        return distances.min(axis=0)
+
+    def clearances_timed(self, points: np.ndarray, times_s: np.ndarray) -> np.ndarray:
+        """Clearance of each point with movers placed at the point's own time.
+
+        Row ``i`` is bit-identical to ``at_time(times_s[i]).clearances(points[i:i+1])[0]``
+        — one broadcast mover-trajectory evaluation instead of one snapshot
+        field per distinct instant.
+        """
+        points = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+        times = np.asarray(times_s, dtype=np.float64).reshape(-1)
+        if times.size != points.shape[0]:
+            raise ConfigurationError(
+                f"got {times.size} times for {points.shape[0]} points"
+            )
+        base = ObstacleField.clearances(self, points)
+        if not self.movers:
+            return base
+        return np.minimum(base, self._mover_clearances(points, times))
+
+    def collides_many_timed(
+        self, points: np.ndarray, times_s: np.ndarray, vehicle_radius: float = 0.0
+    ) -> np.ndarray:
+        """Collision mask with movers placed at each point's own time.
+
+        Entry ``i`` equals ``at_time(times_s[i]).collides_many(points[i:i+1],
+        vehicle_radius)[0]`` without constructing any snapshot field.
+        """
+        points = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+        times = np.asarray(times_s, dtype=np.float64).reshape(-1)
+        if times.size != points.shape[0]:
+            raise ConfigurationError(
+                f"got {times.size} times for {points.shape[0]} points"
+            )
+        hit = ObstacleField._collide_mask(self, points, vehicle_radius)
+        if self.movers:
+            hit = hit | (self._mover_clearances(points, times) < vehicle_radius)
+        return hit
+
+    def ray_distances_many_timed(
+        self,
+        origins: np.ndarray,
+        angles: np.ndarray,
+        times_s: np.ndarray,
+        max_range: float,
+        step: float = 0.1,
+    ) -> np.ndarray:
+        """First-hit ray distances with movers placed at each origin's own time.
+
+        ``origins`` is ``(N, 2)``, ``angles`` ``(R,)`` or ``(N, R)`` and
+        ``times_s`` ``(N,)``; every ray of origin ``i`` sees the field frozen
+        at ``times_s[i]`` (sensing is instantaneous), so row ``i`` of the
+        ``(N, R)`` result is bit-identical to
+        ``at_time(times_s[i]).ray_distances_many(origins[i:i+1], ...)`` — but
+        all N desynchronised fans march through one query, with mover centres
+        evaluated by the same broadcast
+        :meth:`MovingObstacle.positions_at` machinery
+        :meth:`segments_collide_timed` uses instead of one snapshot field per
+        distinct time.
+        """
+        if max_range <= 0 or step <= 0:
+            raise ConfigurationError("ray max_range and step must be positive")
+        origins = np.asarray(origins, dtype=np.float64).reshape(-1, 2)
+        angles = np.asarray(angles, dtype=np.float64)
+        if angles.ndim == 1:
+            angles = np.broadcast_to(angles, (origins.shape[0], angles.size))
+        if angles.shape[0] != origins.shape[0]:
+            raise ConfigurationError(
+                f"angles shape {angles.shape} does not match {origins.shape[0]} origins"
+            )
+        times = np.asarray(times_s, dtype=np.float64).reshape(-1)
+        if times.size != origins.shape[0]:
+            raise ConfigurationError(
+                f"got {times.size} times for {origins.shape[0]} origins"
+            )
+        if not self.movers:
+            return ObstacleField.ray_distances_many(self, origins, angles, max_range, step)
+        marches = np.arange(step, max_range, step, dtype=np.float64)
+        if marches.size == 0:
+            return np.full(angles.shape, max_range, dtype=np.float64)
+        flat_angles = angles.reshape(-1)
+        directions = np.stack([np.cos(flat_angles), np.sin(flat_angles)], axis=-1)
+        flat_origins = np.repeat(origins, angles.shape[1], axis=0)
+        ray_times = np.repeat(times, angles.shape[1])
+
+        def timed_clearances(points: np.ndarray, rays: np.ndarray) -> np.ndarray:
+            return np.minimum(
+                ObstacleField.clearances(self, points),
+                self._mover_clearances(points, ray_times[rays]),
+            )
+
+        return self._march_rays(
+            flat_origins, directions, marches, max_range, timed_clearances
+        ).reshape(angles.shape)
+
     def at_time(self, time_s: float) -> ObstacleField:
         """A static snapshot with every mover placed at its ``time_s`` position."""
         if not self.movers:

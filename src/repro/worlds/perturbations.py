@@ -74,6 +74,30 @@ class SensorDegradation:
             degraded[dropped] = 1.0
         return np.clip(degraded, 0.0, 1.0)
 
+    def apply_batch(
+        self, readings: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Degrade a ``(B, ...)`` stack of readings, row ``i`` from ``rngs[i]``.
+
+        Row ``i`` is bit-identical to ``apply(readings[i], rngs[i])``: each
+        lane generator makes exactly the draws the scalar path makes, in the
+        same order (normal before random), so per-lane RNG streams advance
+        identically — only the arithmetic is batched.
+        """
+        degraded = np.asarray(readings, dtype=np.float64).copy()
+        row_shape = degraded.shape[1:]
+        if self.noise_std > 0.0:
+            noise = np.stack(
+                [rng.normal(0.0, self.noise_std, size=row_shape) for rng in rngs]
+            )
+            degraded += noise
+        if self.dropout_prob > 0.0:
+            dropped = (
+                np.stack([rng.random(row_shape) for rng in rngs]) < self.dropout_prob
+            )
+            degraded[dropped] = 1.0
+        return np.clip(degraded, 0.0, 1.0)
+
 
 Perturbation = Union[WindGust, SensorDegradation]
 

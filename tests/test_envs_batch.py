@@ -91,12 +91,40 @@ class TestBatchedSerialEquivalence:
         env = BatchedNavigationEnv.from_env(NavigationEnv(config, rng=3), batch_size=3)
         assert run_batched_episodes(env, policy, 8, reset_seed=21) == serial
 
-    def test_equivalence_with_dynamic_generated_world(self, batch_config):
+    @pytest.mark.parametrize("batch_size", [1, 7, 64])
+    def test_equivalence_with_dynamic_generated_world(self, batch_config, batch_size):
+        """The timed-observation acceptance pin: batched dynamic rollouts at
+        B in {1, 7, 64} bitwise match the serial env, whose every observation
+        goes through a per-instant ``at_time`` snapshot.  Episodes end at
+        different steps, so lanes carry desynchronised episode clocks into
+        the shared timed sensing query."""
         config = replace(batch_config, world_spec=WorldSpec("dynamic", seed=2))
         policy = _greedy_for(config)
-        serial = _serial_reference(config, policy, 6, reset_seed=31)
-        env = BatchedNavigationEnv.from_env(NavigationEnv(config, rng=3), batch_size=4)
-        assert run_batched_episodes(env, policy, 6, reset_seed=31) == serial
+        serial = _serial_reference(config, policy, 12, reset_seed=31)
+        env = BatchedNavigationEnv.from_env(
+            NavigationEnv(config, rng=3), batch_size=batch_size
+        )
+        assert run_batched_episodes(env, policy, 12, reset_seed=31) == serial
+
+    def test_dynamic_lanes_desynchronise_and_still_match_serial(self, batch_config):
+        """Force explicitly staggered lane clocks (one lane reset mid-flight
+        of the others) and pin each returned observation against a fresh
+        ``at_time``-snapshot env at that lane's clock."""
+        config = replace(batch_config, world_spec=WorldSpec("dynamic", seed=2))
+        env = BatchedNavigationEnv.from_env(NavigationEnv(config, rng=3), batch_size=3)
+        env.reset_lanes([0, 1, 2], [100, 101, 102])
+        straight = env.action_space.n // 2
+        env.step(np.full(3, straight, dtype=np.int64))
+        env.step(np.full(3, straight, dtype=np.int64))
+        env.reset_lanes([1], [103])
+        result = env.step(np.full(3, straight, dtype=np.int64))
+        assert len(set(env._times.tolist())) > 1
+        serial_env = NavigationEnv(config, rng=3)
+        for lane, reset_seed, steps in ((0, 100, 3), (1, 103, 1), (2, 102, 3)):
+            serial_env.reset(seed=reset_seed)
+            for _ in range(steps):
+                observation = serial_env.step(straight).observation
+            assert np.array_equal(result.observations[lane], observation)
 
     def test_equivalence_with_image_observations(self, batch_config):
         config = replace(
@@ -226,6 +254,51 @@ class TestBatchPolicyShim:
         batch_actions = policy.act_batch(observations)
         assert batch_actions.shape == (5,)
         assert [policy(row) for row in observations] == batch_actions.tolist()
+
+
+class TestBatchedSensorDegradation:
+    """The vectorised degradation path must preserve per-lane RNG streams:
+    row ``i`` of ``apply_batch`` is bit-identical to ``apply`` on lane ``i``'s
+    own generator, because each lane's draws (noise, then dropout, per layer)
+    happen in the same order from the same independent stream."""
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 64])
+    def test_apply_batch_matches_sequential_apply(self, batch_size):
+        degradation = SensorDegradation(dropout_prob=0.2, noise_std=0.1)
+        readings = np.random.default_rng(0).uniform(0.0, 1.0, size=(batch_size, 6))
+        batch_rngs = [np.random.default_rng(1000 + lane) for lane in range(batch_size)]
+        serial_rngs = [np.random.default_rng(1000 + lane) for lane in range(batch_size)]
+        batched = degradation.apply_batch(readings, batch_rngs)
+        for lane in range(batch_size):
+            expected = degradation.apply(readings[lane], serial_rngs[lane])
+            assert np.array_equal(batched[lane], expected)
+        # The generators advanced identically, so subsequent draws agree too.
+        for batch_rng, serial_rng in zip(batch_rngs, serial_rngs):
+            assert batch_rng.random() == serial_rng.random()
+
+    def test_apply_batch_layers_compose_like_sequential_layers(self):
+        layers = (
+            SensorDegradation(dropout_prob=0.1, noise_std=0.05),
+            SensorDegradation(dropout_prob=0.0, noise_std=0.2),
+        )
+        readings = np.random.default_rng(2).uniform(0.0, 1.0, size=(5, 8))
+        batch_rngs = [np.random.default_rng(50 + lane) for lane in range(5)]
+        serial_rngs = [np.random.default_rng(50 + lane) for lane in range(5)]
+        batched = readings
+        for layer in layers:
+            batched = layer.apply_batch(batched, batch_rngs)
+        for lane in range(5):
+            expected = readings[lane]
+            for layer in layers:
+                expected = layer.apply(expected, serial_rngs[lane])
+            assert np.array_equal(batched[lane], expected)
+
+    def test_apply_batch_noop_layer_returns_copy(self):
+        degradation = SensorDegradation(dropout_prob=0.0, noise_std=0.0)
+        readings = np.random.default_rng(3).uniform(0.0, 1.0, size=(3, 4))
+        out = degradation.apply_batch(readings, [np.random.default_rng(0)] * 3)
+        assert np.array_equal(out, readings)
+        assert out is not readings
 
 
 class TestBatchedGeometryPrimitives:
