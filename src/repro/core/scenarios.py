@@ -23,8 +23,7 @@ robustness curves.  The ``generalization`` sweep in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, Iterator, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.calibrated import AutonomyScheme, CalibratedRobustnessModel
 from repro.core.pipeline import MissionPipeline, PipelineConfig
@@ -33,6 +32,7 @@ from repro.envs.obstacles import ObstacleDensity
 from repro.errors import ConfigurationError
 from repro.runtime.jobs import ExecutionContext, JobSpec, SweepSpec, job_kind
 from repro.uav.platform import CRAZYFLIE, DJI_TELLO, UavPlatform, get_platform
+from repro.utils.warmcache import warm_cache
 from repro.worlds.metrics import world_metrics
 from repro.worlds.perturbations import Perturbation
 from repro.worlds.registry import generate_world
@@ -318,39 +318,32 @@ class GeneralizedScenario:
         )
 
 
-@lru_cache(maxsize=128)
 def _world_and_metrics(world_spec: WorldSpec):
-    """World + geometry metrics, memoized: the generalization sweep has 24
-    jobs (platforms x policies x BER levels) per distinct world."""
-    world = generate_world(world_spec)
-    return world, world_metrics(world)
+    """World + geometry metrics, warm-cached: the generalization sweep has 24
+    jobs (platforms x policies x BER levels) per distinct world, and on the
+    persistent pool the cache survives across whole sweeps."""
+    return warm_cache("world_metrics").get_or_build(
+        world_spec,
+        lambda: (lambda world: (world, world_metrics(world)))(generate_world(world_spec)),
+    )
 
 
-@job_kind("scenario.generalized")
-def _run_scenario_generalized(spec: JobSpec, context: ExecutionContext) -> Dict[str, object]:
-    """Evaluate one generated-world scenario.
+def _scenario_shared(params: Dict[str, object], context: ExecutionContext):
+    """Everything in a generalized-scenario evaluation that does not depend
+    on ``ber_percent`` — the expensive share that job fusion amortizes.
 
-    Regenerates the world from its spec (any worker produces the identical
-    world), measures its geometry, evaluates the calibrated pipeline at the
-    world's effective difficulty, and reports robustness plus
-    quality-of-flight at the scenario's best BERRY operating point.
+    World generation, geometry metrics, pipeline construction, and the
+    BERRY operating-point search all depend only on the world, platform,
+    policy, and voltage grid; jobs differing solely in BER reuse all of it.
     """
-    params = spec.params
     world_spec = WorldSpec.from_jsonable(params["world"])
     _, metrics = _world_and_metrics(world_spec)
-    scenario = GeneralizedScenario(
-        world=world_spec,
-        platform=get_platform(str(params["platform"])),
-        policy_name=str(params["policy"]),
-        compute_power_multiplier=float(params["compute_power_multiplier"]),
-        ber_percent=float(params["ber_percent"]),
-    )
     robustness = context.get("robustness")
     base = robustness if robustness is not None else CalibratedRobustnessModel()
     pipeline = MissionPipeline(
         PipelineConfig(
-            platform=scenario.platform,
-            compute_power_multiplier=scenario.compute_power_multiplier,
+            platform=get_platform(str(params["platform"])),
+            compute_power_multiplier=float(params["compute_power_multiplier"]),
         ),
         robustness=base.for_density(metrics.effective_density),
     )
@@ -360,6 +353,19 @@ def _run_scenario_generalized(spec: JobSpec, context: ExecutionContext) -> Dict[
         [float(v) for v in params["candidate_voltages"]],
         success_provider=berry,
         max_success_drop_pct=float(params["max_success_drop_pct"]),
+    )
+    return world_spec, metrics, classical, berry, best
+
+
+def _scenario_row(params: Dict[str, object], shared) -> Dict[str, object]:
+    """The per-job result row: only the BER-dependent lookups run here."""
+    world_spec, metrics, classical, berry, best = shared
+    scenario = GeneralizedScenario(
+        world=world_spec,
+        platform=get_platform(str(params["platform"])),
+        policy_name=str(params["policy"]),
+        compute_power_multiplier=float(params["compute_power_multiplier"]),
+        ber_percent=float(params["ber_percent"]),
     )
     return {
         "scenario": scenario.name,
@@ -380,3 +386,44 @@ def _run_scenario_generalized(spec: JobSpec, context: ExecutionContext) -> Dict[
         "flight_energy_change_pct": best.flight_energy_change_pct,
         "missions_change_pct": best.missions_change_pct,
     }
+
+
+@job_kind("scenario.generalized")
+def _run_scenario_generalized(spec: JobSpec, context: ExecutionContext) -> Dict[str, object]:
+    """Evaluate one generated-world scenario.
+
+    Regenerates the world from its spec (any worker produces the identical
+    world), measures its geometry, evaluates the calibrated pipeline at the
+    world's effective difficulty, and reports robustness plus
+    quality-of-flight at the scenario's best BERRY operating point.
+    """
+    return _scenario_row(spec.params, _scenario_shared(spec.params, context))
+
+
+def _run_scenario_generalized_fused(
+    specs: Sequence[JobSpec], context: ExecutionContext
+) -> List[Dict[str, object]]:
+    """Fused evaluation of scenarios differing only in ``ber_percent``.
+
+    The shared half (world + metrics + pipeline + operating point) runs once;
+    each member contributes two robustness-curve lookups.  Results are the
+    same floats the unfused path produces — the shared computation is pure
+    and deterministic, so computing it once instead of N times is invisible.
+    """
+    shared = _scenario_shared(specs[0].params, context)
+    return [_scenario_row(spec.params, shared) for spec in specs]
+
+
+def _register_fusion_rules() -> None:
+    from repro.runtime.fusion import FusionRule, register_fusion_rule
+
+    register_fusion_rule(
+        FusionRule(
+            kind="scenario.generalized",
+            axis=("ber_percent",),
+            run_fused=_run_scenario_generalized_fused,
+        )
+    )
+
+
+_register_fusion_rules()

@@ -33,6 +33,7 @@ from repro.core.scenarios import (
 )
 from repro.runtime.jobs import ExecutionContext, JobSpec, SweepSpec, job_kind
 from repro.uav.platform import UavPlatform
+from repro.utils.serialization import stable_hash
 from repro.utils.tables import Table
 from repro.worlds.spec import WorldSpec
 
@@ -233,32 +234,32 @@ def generalization_rollout_sweep_spec(
     )
 
 
-@job_kind("rollout.generalized")
-def _run_rollout_generalized(spec: JobSpec, context: ExecutionContext) -> Dict[str, Any]:
-    """Train + roll out one reduced-scale policy in one generated world.
+def _training_seed(params: Mapping[str, Any]) -> int:
+    """Deterministic seed for the training half, from the BER-invariant params.
 
-    Everything — the world, the policy initialisation, training exploration,
-    fault maps and evaluation episodes — derives from the job spec, so any
-    worker reproduces the identical measured numbers.  Training collects
-    experience on ``train_lanes`` lockstep lanes and rollouts run on the
-    batched core (`~repro.envs.batch.BatchedNavigationEnv`); the measured
-    per-episode path lengths then advance through the vectorized UAV flight
-    chain in one `~repro.uav.flight.FlightModel.fly_missions` call.
+    Training a rollout job must not see ``ber_percent`` — the paper deploys
+    *one* trained policy and then corrupts its memory at every BER level, and
+    job fusion exploits exactly that: grid points differing only in BER share
+    the trained network.  Hashing the params minus the BER axis (instead of
+    using ``spec.seed``, which covers all params) makes the unfused path train
+    the byte-identical network the fused path trains once — the equivalence
+    the fusion tests pin.  Evaluation keeps the per-job ``spec.seed`` stream,
+    so fault maps and episodes still differ per BER level.
     """
-    import numpy as np
+    invariant = {k: v for k, v in params.items() if k != "ber_percent"}
+    digest = stable_hash({"kind": "rollout.generalized/train", "params": invariant})
+    return int(digest[:16], 16) % (2**31 - 1)
 
+
+def _train_rollout_policy(params: Mapping[str, Any]):
+    """The BER-invariant half of a rollout job: build env, train the policy."""
     from repro.envs.navigation import NavigationConfig
     from repro.envs.navigation import NavigationEnv
     from repro.envs.sensors import RaySensor
     from repro.nn.policies import mlp
     from repro.rl.dqn import DqnConfig, DqnTrainer
-    from repro.rl.evaluation import evaluate_policy, evaluate_under_faults
     from repro.rl.schedules import LinearDecay
-    from repro.uav.battery import missions_per_charge
-    from repro.uav.flight import FlightModel
-    from repro.uav.platform import get_platform
 
-    params = spec.params
     world_spec = WorldSpec.from_jsonable(params["world"])
     config = NavigationConfig(
         world_spec=world_spec,
@@ -269,7 +270,8 @@ def _run_rollout_generalized(spec: JobSpec, context: ExecutionContext) -> Dict[s
         goal_radius_m=1.2,
         start_position_noise_m=0.5,
     )
-    env = NavigationEnv(config, rng=spec.seed)
+    train_seed = _training_seed(params)
+    env = NavigationEnv(config, rng=train_seed)
     trainer = DqnTrainer(
         env,
         policy_spec=mlp(tuple(int(units) for units in params["hidden_units"])),
@@ -287,11 +289,23 @@ def _run_rollout_generalized(spec: JobSpec, context: ExecutionContext) -> Dict[s
             # Older cached specs predate pluggable backends: default numpy.
             backend=str(params.get("backend", "numpy")),
         ),
-        rng=int(params["policy_seed"]) + spec.seed,
+        rng=int(params["policy_seed"]) + train_seed,
     )
     trainer.train(int(params["training_episodes"]))
-    network = trainer.q_network
+    return env, trainer.q_network
 
+
+def _evaluate_rollout(spec: JobSpec, env, network) -> Dict[str, Any]:
+    """The per-BER half: corrupt, fly, and report one job's result row."""
+    import numpy as np
+
+    from repro.rl.evaluation import evaluate_policy, evaluate_under_faults
+    from repro.uav.battery import missions_per_charge
+    from repro.uav.flight import FlightModel
+    from repro.uav.platform import get_platform
+
+    params = spec.params
+    world_spec = WorldSpec.from_jsonable(params["world"])
     ber_percent = float(params["ber_percent"])
     num_episodes = int(params["num_episodes"])
     if ber_percent <= 0.0:
@@ -347,6 +361,56 @@ def _run_rollout_generalized(spec: JobSpec, context: ExecutionContext) -> Dict[s
         "missions_per_charge": missions,
         "platform": platform.name,
     }
+
+
+@job_kind("rollout.generalized")
+def _run_rollout_generalized(spec: JobSpec, context: ExecutionContext) -> Dict[str, Any]:
+    """Train + roll out one reduced-scale policy in one generated world.
+
+    Everything — the world, the policy initialisation, training exploration,
+    fault maps and evaluation episodes — derives from the job spec, so any
+    worker reproduces the identical measured numbers.  Training collects
+    experience on ``train_lanes`` lockstep lanes and rollouts run on the
+    batched core (`~repro.envs.batch.BatchedNavigationEnv`); the measured
+    per-episode path lengths then advance through the vectorized UAV flight
+    chain in one `~repro.uav.flight.FlightModel.fly_missions` call.
+
+    The training half is seeded from the BER-invariant params
+    (:func:`_training_seed`), so jobs differing only in ``ber_percent`` train
+    the identical policy — run separately or fused.
+    """
+    env, network = _train_rollout_policy(spec.params)
+    return _evaluate_rollout(spec, env, network)
+
+
+def _run_rollout_generalized_fused(
+    specs: Sequence[JobSpec], context: ExecutionContext
+) -> List[Dict[str, Any]]:
+    """Fused rollout jobs: train the shared policy once, evaluate per BER.
+
+    The members differ only along ``ber_percent`` (the fusion rule's axis),
+    so they describe the same world, policy and training budget; one training
+    run feeds every member's fault-injection evaluation.  Per-member results
+    are bitwise-identical to the unfused runner because the training seed
+    never saw the BER axis in the first place.
+    """
+    env, network = _train_rollout_policy(specs[0].params)
+    return [_evaluate_rollout(spec, env, network) for spec in specs]
+
+
+def _register_fusion_rules() -> None:
+    from repro.runtime.fusion import FusionRule, register_fusion_rule
+
+    register_fusion_rule(
+        FusionRule(
+            kind="rollout.generalized",
+            axis=("ber_percent",),
+            run_fused=_run_rollout_generalized_fused,
+        )
+    )
+
+
+_register_fusion_rules()
 
 
 def assemble_generalization_rollouts(

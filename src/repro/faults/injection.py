@@ -18,6 +18,7 @@ vectorised ``popcount`` instead of a per-word python loop.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
@@ -32,6 +33,18 @@ from repro.obs import get_metrics, span
 from repro.quant.fixed_point import QuantizationConfig, quantize
 from repro.quant.qtensor import QuantizedTensor
 from repro.utils.rng import SeedLike, as_generator
+from repro.utils.warmcache import warm_cache
+
+
+def state_fingerprint(state: Mapping[str, np.ndarray]) -> str:
+    """Content hash of a parameter state dict (names, shapes, raw values)."""
+    digest = hashlib.sha256()
+    for name in sorted(state):
+        values = np.ascontiguousarray(np.asarray(state[name], dtype=np.float64))
+        digest.update(name.encode("utf-8"))
+        digest.update(str(values.shape).encode("utf-8"))
+        digest.update(values.tobytes())
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -141,6 +154,29 @@ class BitErrorInjector:
                 np.asarray(values, dtype=np.float64), self.quantization, backend=self.backend
             )
         return quantized
+
+    def quantize_state_cached(
+        self, state: Mapping[str, np.ndarray]
+    ) -> Dict[str, QuantizedTensor]:
+        """Like :meth:`quantize_state`, but warm-cached by parameter content.
+
+        Fused sweep jobs and warm pool workers evaluate the *same* trained
+        policy at several BER levels (one :func:`evaluate_under_faults` call
+        each); keying the quantized codes by a content hash of the raw
+        parameters + quantization config + backend lets every call after the
+        first skip the per-tensor scale search entirely.  Safe because
+        :meth:`perturb_quantized_state` never mutates its input — a single
+        quantized state legitimately serves any number of fault maps, and by
+        the same invariant, any number of callers.
+        """
+        key = (
+            state_fingerprint(state),
+            self.quantization,
+            self.backend.metric_tag,
+        )
+        return warm_cache("quantized_states", capacity=16).get_or_build(
+            key, lambda: self.quantize_state(state)
+        )
 
     def perturb_quantized_state(
         self, quantized: Mapping[str, QuantizedTensor], fault_map: FaultMap

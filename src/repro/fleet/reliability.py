@@ -19,7 +19,7 @@ the per-seed moments exactly (Chan's update) into one row per voltage with
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.runtime.jobs import ExecutionContext, JobSpec, SweepSpec, job_kind
@@ -124,6 +124,36 @@ def _run_fleet_reliability(spec: JobSpec, context: ExecutionContext) -> Dict[str
         "episodes": int(params["episodes"]),
         "moments": {name: acc.to_jsonable() for name, acc in moments.items()},
     }
+
+
+def _run_fleet_reliability_fused(
+    specs: Sequence[JobSpec], context: ExecutionContext
+) -> List[Dict[str, Any]]:
+    """Fused fleet cells: all voltage levels of one world on one worker.
+
+    Voltage only scales the BER/corruption/compute-power inputs — the shared
+    expensive input is the compiled dynamic world, which the first member
+    builds into the process warm cache and the rest reuse.  Each member runs
+    the ordinary unfused runner with its own ``spec.seed``, so results are
+    trivially bitwise-identical; fusing pins the whole voltage axis to one
+    worker instead of leaving world reuse to scheduling luck.
+    """
+    return [_run_fleet_reliability(spec, context) for spec in specs]
+
+
+def _register_fusion_rules() -> None:
+    from repro.runtime.fusion import FusionRule, register_fusion_rule
+
+    register_fusion_rule(
+        FusionRule(
+            kind="fleet.reliability",
+            axis=("voltage",),
+            run_fused=_run_fleet_reliability_fused,
+        )
+    )
+
+
+_register_fusion_rules()
 
 
 def assemble_fleet_reliability(sweep: SweepSpec, results: Sequence[Any]) -> Table:

@@ -19,6 +19,12 @@ from repro.runtime.executor import (
     MultiprocessExecutor,
     SerialExecutor,
     make_executor,
+    plan_chunks,
+)
+from repro.runtime.fusion import (
+    FusionRule,
+    plan_fusion,
+    register_fusion_rule,
 )
 from repro.runtime.jobs import (
     ExecutionContext,
@@ -29,10 +35,12 @@ from repro.runtime.jobs import (
     run_job,
 )
 from repro.runtime.journal import Journal, SweepStatus
+from repro.runtime.pool import WarmPoolExecutor, shutdown_pool
 
 __all__ = [
     "ExecutionContext",
     "Executor",
+    "FusionRule",
     "JobSpec",
     "Journal",
     "MultiprocessExecutor",
@@ -43,9 +51,14 @@ __all__ = [
     "SweepRunner",
     "SweepSpec",
     "SweepStatus",
+    "WarmPoolExecutor",
     "job_kind",
     "make_executor",
+    "plan_chunks",
+    "plan_fusion",
+    "register_fusion_rule",
     "registered_kinds",
     "run_job",
     "run_sweep",
+    "shutdown_pool",
 ]

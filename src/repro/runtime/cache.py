@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Optional, Set
 
 from repro.utils.serialization import PathLike, save_json
 from repro.version import __version__
@@ -61,6 +61,20 @@ class ResultCache:
         except (FileNotFoundError, json.JSONDecodeError):
             return MISS
         return record.get("result")
+
+    def index(self) -> Set[str]:
+        """The spec hashes present on disk, from one directory walk.
+
+        The engine probes the cache once per job; on a warm re-run of a
+        1440-job sweep that used to be 1440 ``stat`` + ``open`` round-trips.
+        One ``glob`` over the two-level fan-out replaces them with a set
+        lookup.  The snapshot is taken at call time — entries added by a
+        concurrent writer afterwards are simply treated as misses, which is
+        the same outcome as probing before that writer finished.
+        """
+        if not self.version_root.exists():
+            return set()
+        return {entry.stem for entry in self.version_root.glob("*/*.json")}
 
     def __contains__(self, spec) -> bool:
         return self.get(spec) is not MISS

@@ -71,6 +71,7 @@ from repro.obs.store import DEFAULT_CHECK_METRICS, default_ledger_path
 from repro.runtime.cache import ResultCache, default_cache_root
 from repro.runtime.engine import SweepExecutionError, SweepReport, SweepRunner
 from repro.runtime.executor import make_executor
+from repro.runtime.fusion import DEFAULT_FUSION_WIDTH
 from repro.runtime.journal import Journal, default_journal_dir
 from repro.runtime.registry import get_registered_sweep, iter_registered_sweeps
 from repro.utils.logging import enable_console_logging
@@ -89,6 +90,20 @@ def _parse_shard(value: str) -> Tuple[int, int]:
         raise argparse.ArgumentTypeError(
             f"shard must look like 'i/n' (e.g. 0/4), got {value!r}"
         ) from None
+
+
+def _parse_chunksize(value: str) -> Optional[int]:
+    if value.strip().lower() == "auto":
+        return None
+    try:
+        size = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"chunksize must be 'auto' or a positive integer, got {value!r}"
+        ) from None
+    if size < 1:
+        raise argparse.ArgumentTypeError(f"chunksize must be >= 1, got {size}")
+    return size
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,6 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="run one registered sweep")
     run.add_argument("sweep", help="registered sweep name (see 'list')")
     run.add_argument("--workers", type=int, default=None, help="worker processes (default: serial)")
+    run.add_argument("--chunksize", type=_parse_chunksize, default=None, metavar="auto|N",
+                     help="executor chunking: 'auto' (default, size-aware dynamic chunks) "
+                          "or a fixed chunk size N")
+    run.add_argument("--no-fuse", action="store_true",
+                     help="disable sweep-level job fusion (debugging/benchmark baseline)")
+    run.add_argument("--fusion-width", type=int, default=DEFAULT_FUSION_WIDTH, metavar="N",
+                     help=f"max jobs per fused group (default {DEFAULT_FUSION_WIDTH})")
     run.add_argument("--shard", type=_parse_shard, default=None, metavar="I/N",
                      help="run only every N-th job starting at I")
     run.add_argument("--cache-dir", type=Path, default=None,
@@ -251,12 +273,14 @@ def _cmd_run(args: argparse.Namespace, stream) -> int:
     if collect_metrics:
         enable_metrics()
     runner = SweepRunner(
-        executor=make_executor(args.workers),
+        executor=make_executor(args.workers, chunk_size=args.chunksize),
         cache=cache,
         journal_dir=journal_dir,
         resume=not args.no_resume,
         heartbeat_interval=heartbeat,
         ledger=ledger,
+        fuse=not args.no_fuse,
+        fusion_width=args.fusion_width,
     )
     try:
         report: SweepReport = runner.run(sweep, shard=args.shard)

@@ -39,6 +39,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.obs import Heartbeat, RunLedger, get_metrics, get_tracer, span
 from repro.runtime.cache import MISS, ResultCache
 from repro.runtime.executor import Executor, SerialExecutor
+from repro.runtime.fusion import (
+    DEFAULT_FUSION_WIDTH,
+    FusedGroup,
+    describe_plan,
+    plan_fusion,
+)
 from repro.runtime.jobs import ExecutionContext, SweepSpec
 from repro.runtime.journal import Journal
 from repro.utils.logging import get_logger
@@ -71,6 +77,8 @@ class SweepReport:
     cache_hits: int = 0         #: jobs resolved from the result cache
     resumed: int = 0            #: jobs resolved from the journal
     skipped: int = 0            #: jobs outside this run's shard
+    fused_jobs: int = 0         #: executed jobs that rode a fused group
+    fused_groups: int = 0       #: fused groups dispatched this run
     wall_time_s: float = 0.0
     journal_path: Optional[str] = None
     shard: Optional[Tuple[int, int]] = None
@@ -88,9 +96,14 @@ class SweepReport:
 
     def describe(self) -> str:
         shard = f" shard {self.shard[0]}/{self.shard[1]}" if self.shard else ""
+        fused = (
+            f" ({self.fused_jobs} fused into {self.fused_groups} groups)"
+            if self.fused_groups
+            else ""
+        )
         return (
             f"{self.sweep.name}{shard}: {len(self.sweep)} jobs — "
-            f"{self.executed} executed, {self.cache_hits} cache hits, "
+            f"{self.executed} executed{fused}, {self.cache_hits} cache hits, "
             f"{self.resumed} resumed, {self.skipped} skipped "
             f"in {self.wall_time_s:.2f}s"
         )
@@ -115,6 +128,8 @@ class SweepRunner:
         heartbeat_interval: Optional[float] = None,
         heartbeat_emit: Optional[Callable[[str], None]] = None,
         ledger: Optional["RunLedger"] = None,
+        fuse: bool = True,
+        fusion_width: int = DEFAULT_FUSION_WIDTH,
     ) -> None:
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
@@ -123,6 +138,8 @@ class SweepRunner:
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_emit = heartbeat_emit
         self.ledger = ledger
+        self.fuse = fuse
+        self.fusion_width = fusion_width
 
     def _journal_for(self, sweep: SweepSpec, hermetic: bool) -> Optional[Journal]:
         if self.journal_dir is None or not hermetic:
@@ -188,68 +205,155 @@ class SweepRunner:
                 report.results[index] = result
                 report._result_by_hash[sweep.jobs[index].spec_hash] = result
 
-            pending = []
-            with span("engine.resolve", jobs=len(selected)) as resolve_span:
-                for index in sorted(selected):
-                    spec = sweep.jobs[index]
-                    if spec.spec_hash in journaled:
-                        settle(index, journaled[spec.spec_hash])
-                        report.resumed += 1
-                        logger.debug("job %s: resumed from journal", spec.job_id)
-                        pulse()
-                        continue
+            def settle_ok(index: int, spec, payload: Any, duration_s) -> None:
+                with span("job.settle", job=spec.job_id):
+                    settle(index, payload)
+                    report.executed += 1
                     if cache is not None:
-                        cached = cache.get(spec)
-                        if cached is not MISS:
-                            settle(index, cached)
-                            report.cache_hits += 1
-                            if journal is not None:
-                                journal.record_result(spec, cached, source="cache")
-                            logger.debug("job %s: result cache hit", spec.job_id)
-                            pulse()
-                            continue
-                    pending.append((index, spec))
-                resolve_span.set_attribute("resumed", report.resumed)
-                resolve_span.set_attribute("cache_hits", report.cache_hits)
-            if metrics.enabled:
-                metrics.counter("engine.jobs_resumed").inc(report.resumed)
-                metrics.counter("engine.jobs_cache_hit").inc(report.cache_hits)
+                        cache.put(spec, payload)
+                    if journal is not None:
+                        journal.record_result(spec, payload, duration_s=duration_s)
+                if metrics.enabled:
+                    metrics.counter("engine.jobs_executed").inc()
+                    if duration_s is not None:
+                        metrics.histogram("engine.job_duration_s").observe(duration_s)
+                logger.debug(
+                    "job %s: executed in %.3fs",
+                    spec.job_id,
+                    duration_s if duration_s is not None else -1.0,
+                )
+
+            def settle_error(spec, error: str, duration_s) -> None:
+                failures.append((spec.job_id, error))
+                if journal is not None:
+                    journal.record_error(spec, error, duration_s=duration_s)
+                if metrics.enabled:
+                    metrics.counter("engine.jobs_failed").inc()
+                logger.warning("job %s: failed\n%s", spec.job_id, error)
 
             failures: List[Tuple[str, str]] = []
-            with span("engine.dispatch", jobs=len(pending), backend=self.executor.name):
-                for index, status, payload, obs in self.executor.submit(pending, context):
-                    spec = sweep.jobs[index]
-                    duration_s = obs.get("duration_s") if obs else None
-                    if obs:
-                        if metrics.enabled and obs.get("metrics") is not None:
-                            metrics.merge(obs["metrics"])
-                        if tracer is not None and obs.get("spans"):
-                            tracer.absorb(obs["spans"])
-                    if status == "ok":
-                        with span("job.settle", job=spec.job_id):
-                            settle(index, payload)
-                            report.executed += 1
-                            if cache is not None:
-                                cache.put(spec, payload)
-                            if journal is not None:
-                                journal.record_result(spec, payload, duration_s=duration_s)
+            pending = []
+            try:
+                with span("engine.resolve", jobs=len(selected)) as resolve_span:
+                    # One directory walk replaces a stat+open probe per job on
+                    # warm re-runs; single-job runs skip the walk (a lone probe
+                    # is cheaper than an index).
+                    cache_index = None
+                    if cache is not None and len(selected) > 1:
+                        with span("engine.cache_index"):
+                            cache_index = cache.index()
+                    for index in sorted(selected):
+                        spec = sweep.jobs[index]
+                        if spec.spec_hash in journaled:
+                            settle(index, journaled[spec.spec_hash])
+                            report.resumed += 1
+                            logger.debug("job %s: resumed from journal", spec.job_id)
+                            pulse()
+                            continue
+                        if cache is not None:
+                            if cache_index is not None and spec.spec_hash not in cache_index:
+                                cached = MISS
+                            else:
+                                cached = cache.get(spec)
+                            if metrics.enabled:
+                                probe = "hit" if cached is not MISS else "miss"
+                                metrics.counter(f"cache.probe.{probe}").inc()
+                            if cached is not MISS:
+                                settle(index, cached)
+                                report.cache_hits += 1
+                                if journal is not None:
+                                    journal.record_result(spec, cached, source="cache")
+                                logger.debug("job %s: result cache hit", spec.job_id)
+                                pulse()
+                                continue
+                        pending.append((index, spec))
+                    resolve_span.set_attribute("resumed", report.resumed)
+                    resolve_span.set_attribute("cache_hits", report.cache_hits)
+                if metrics.enabled:
+                    metrics.counter("engine.jobs_resumed").inc(report.resumed)
+                    metrics.counter("engine.jobs_cache_hit").inc(report.cache_hits)
+
+                # Fusion planning: group cache-miss jobs that differ only
+                # along a registered axis into synthetic engine.fused jobs.
+                # Synthetic indices live past the end of the sweep so they can
+                # never collide with real job indices.
+                dispatch_items: List[Tuple[int, Any]] = pending
+                groups_by_index: Dict[int, FusedGroup] = {}
+                if self.fuse and len(pending) > 1:
+                    with span("engine.fuse_plan", jobs=len(pending)) as fuse_span:
+                        plan = plan_fusion(pending, self.fusion_width)
+                        fuse_span.set_attribute("groups", len(plan.groups))
+                        fuse_span.set_attribute("fused_jobs", plan.fused_job_count)
+                    if plan.groups:
+                        dispatch_items = list(plan.singles)
+                        for offset, group in enumerate(plan.groups):
+                            synthetic = len(sweep) + offset
+                            groups_by_index[synthetic] = group
+                            dispatch_items.append((synthetic, group.fused))
                         if metrics.enabled:
-                            metrics.counter("engine.jobs_executed").inc()
-                            if duration_s is not None:
-                                metrics.histogram("engine.job_duration_s").observe(duration_s)
-                        logger.debug(
-                            "job %s: executed in %.3fs",
-                            spec.job_id,
-                            duration_s if duration_s is not None else -1.0,
-                        )
-                    else:
-                        failures.append((spec.job_id, str(payload)))
-                        if journal is not None:
-                            journal.record_error(spec, str(payload), duration_s=duration_s)
-                        if metrics.enabled:
-                            metrics.counter("engine.jobs_failed").inc()
-                        logger.warning("job %s: failed\n%s", spec.job_id, payload)
-                    pulse()
+                            metrics.counter("fusion.groups").inc(len(plan.groups))
+                            metrics.counter("fusion.fused_jobs").inc(plan.fused_job_count)
+                            metrics.counter("fusion.unfused_jobs").inc(len(plan.singles))
+                        logger.info("fusion: %s", describe_plan(plan))
+
+                with span(
+                    "engine.dispatch", jobs=len(pending), backend=self.executor.name
+                ):
+                    for index, status, payload, obs in self.executor.submit(
+                        dispatch_items, context
+                    ):
+                        duration_s = obs.get("duration_s") if obs else None
+                        if obs:
+                            if metrics.enabled and obs.get("metrics") is not None:
+                                metrics.merge(obs["metrics"])
+                            if tracer is not None and obs.get("spans"):
+                                tracer.absorb(obs["spans"])
+                        group = groups_by_index.get(index)
+                        if group is not None:
+                            if status == "ok" and (
+                                not isinstance(payload, list)
+                                or len(payload) != len(group.members)
+                            ):
+                                status = "error"
+                                payload = (
+                                    f"fused group returned "
+                                    f"{len(payload) if isinstance(payload, list) else type(payload).__name__} "
+                                    f"results for {len(group.members)} members"
+                                )
+                            if status == "ok":
+                                report.fused_groups += 1
+                                report.fused_jobs += len(group.members)
+                                # The group measured one wall-clock duration;
+                                # attribute an equal share to each member so
+                                # per-job latency stays integrable.
+                                member_duration = (
+                                    duration_s / len(group.members)
+                                    if duration_s is not None
+                                    else None
+                                )
+                                for member_index, member_spec, member_result in zip(
+                                    group.indices, group.members, payload
+                                ):
+                                    settle_ok(
+                                        member_index,
+                                        member_spec,
+                                        member_result,
+                                        member_duration,
+                                    )
+                            else:
+                                for member_spec in group.members:
+                                    settle_error(member_spec, str(payload), None)
+                            pulse()
+                            continue
+                        spec = sweep.jobs[index]
+                        if status == "ok":
+                            settle_ok(index, spec, payload, duration_s)
+                        else:
+                            settle_error(spec, str(payload), duration_s)
+                        pulse()
+            finally:
+                if journal is not None:
+                    journal.flush()
 
             report.wall_time_s = time.perf_counter() - started
             if journal is not None:

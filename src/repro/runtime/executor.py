@@ -31,7 +31,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import traceback
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.obs import observe_job
@@ -95,8 +95,61 @@ def default_worker_count() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
+def plan_chunks(total: int, workers: int, chunk_size: Optional[int] = None) -> List[int]:
+    """Size-aware dynamic chunk plan: a list of chunk sizes summing to ``total``.
+
+    With ``chunk_size=None`` the plan follows guided self-scheduling: each
+    chunk takes ``remaining / (2 * workers)`` jobs, so early chunks are large
+    (low dispatch overhead while everyone is busy) and the tail shrinks to
+    single jobs (no worker left holding a fat chunk while the rest idle — the
+    straggler tail of the old fixed ``chunksize`` dispatch).  An explicit
+    ``chunk_size`` yields fixed-size chunks, still pulled dynamically.
+    """
+    if total < 0:
+        raise ConfigurationError(f"total must be >= 0, got {total}")
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(f"chunk size must be >= 1, got {chunk_size}")
+    sizes: List[int] = []
+    remaining = total
+    while remaining > 0:
+        if chunk_size is not None:
+            size = min(chunk_size, remaining)
+        else:
+            size = min(max(1, remaining // (2 * workers)), remaining)
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+def split_chunks(
+    items: Sequence[IndexedJob], workers: int, chunk_size: Optional[int] = None
+) -> List[List[IndexedJob]]:
+    """Partition ``items`` (in order) according to :func:`plan_chunks`."""
+    chunks: List[List[IndexedJob]] = []
+    cursor = 0
+    for size in plan_chunks(len(items), workers, chunk_size):
+        chunks.append(list(items[cursor : cursor + size]))
+        cursor += size
+    return chunks
+
+
+def _run_chunk_in_worker(chunk: Sequence[IndexedJob]) -> List[ExecutionEvent]:
+    context = _WORKER_CONTEXT if _WORKER_CONTEXT is not None else ExecutionContext()
+    return [_execute(index, spec, context) for index, spec in chunk]
+
+
 class MultiprocessExecutor(Executor):
-    """Fan jobs out over a ``multiprocessing.Pool`` with chunked dispatch."""
+    """Fan jobs out over a throwaway ``multiprocessing.Pool``.
+
+    Chunks follow the :func:`plan_chunks` guided schedule and are pulled
+    dynamically (``chunksize=1`` over pre-sized chunk lists), so a slow job
+    late in the sweep no longer strands its fixed-chunk neighbours behind it.
+    Prefer :class:`repro.runtime.pool.WarmPoolExecutor` (what
+    :func:`make_executor` returns) unless the workload specifically wants
+    cold workers per run.
+    """
 
     name = "multiprocess"
 
@@ -111,13 +164,6 @@ class MultiprocessExecutor(Executor):
         self.workers = workers if workers is not None else default_worker_count()
         self.chunk_size = chunk_size
         self.start_method = start_method
-
-    def _chunk_size(self, total: int) -> int:
-        if self.chunk_size is not None:
-            return max(1, self.chunk_size)
-        # Roughly four chunks per worker balances dispatch overhead against
-        # stragglers on heterogeneous job costs.
-        return max(1, total // (self.workers * 4))
 
     def submit(
         self, items: Sequence[IndexedJob], context: ExecutionContext
@@ -134,23 +180,28 @@ class MultiprocessExecutor(Executor):
             # A one-worker pool would only add IPC overhead.
             yield from SerialExecutor().submit(items, context)
             return
+        chunks = split_chunks(items, self.workers, self.chunk_size)
         mp_context = multiprocessing.get_context(self.start_method)
         pool = mp_context.Pool(
-            processes=min(self.workers, len(items)),
+            processes=min(self.workers, len(chunks)),
             initializer=_init_worker,
             initargs=(context,),
         )
         try:
-            yield from pool.imap_unordered(
-                _run_in_worker, items, chunksize=self._chunk_size(len(items))
-            )
+            for events in pool.imap_unordered(_run_chunk_in_worker, chunks, chunksize=1):
+                yield from events
         finally:
             pool.terminate()
             pool.join()
 
 
-def make_executor(workers: Optional[int] = None) -> Executor:
-    """The conventional knob: ``None``/``0``/``1`` workers -> serial, else a pool."""
+def make_executor(
+    workers: Optional[int] = None, chunk_size: Optional[int] = None
+) -> Executor:
+    """The conventional knob: ``None``/``0``/``1`` workers -> serial, else the
+    persistent warm pool (spawn once, reuse across every subsequent run)."""
     if workers is None or workers <= 1:
         return SerialExecutor()
-    return MultiprocessExecutor(workers=workers)
+    from repro.runtime.pool import WarmPoolExecutor  # lazy: avoids import cycle
+
+    return WarmPoolExecutor(workers=workers, chunk_size=chunk_size)

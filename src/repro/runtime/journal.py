@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-from repro.utils.serialization import PathLike, append_jsonl, iter_jsonl
+from repro.utils.serialization import PathLike, append_jsonl, append_jsonl_many, iter_jsonl
 from repro.version import __version__
 
 from repro.runtime.jobs import JobSpec, SweepSpec
@@ -108,10 +108,31 @@ class SweepStatus:
 
 
 class Journal:
-    """Append-only progress log for one sweep."""
+    """Append-only progress log for one sweep, with batched writes.
 
-    def __init__(self, path: PathLike) -> None:
+    Records accumulate in an in-memory buffer and are appended in one
+    open/write once ``buffer_size`` records queue up or ``flush_interval_s``
+    has elapsed since the last flush — on a fused sweep settling hundreds of
+    jobs per second, per-record opens were a measurable engine cost.  The
+    on-disk format is byte-identical to unbuffered appends (torn-line repair
+    included), ``load``/``status`` flush first so readers never miss buffered
+    records, and the engine flushes in a ``finally`` so an interrupt loses at
+    most the final partial batch — the same exposure window the old
+    one-record-per-write scheme had for the job in flight.
+    ``buffer_size=1`` restores strict write-through.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        buffer_size: int = 64,
+        flush_interval_s: float = 0.5,
+    ) -> None:
         self.path = Path(path)
+        self.buffer_size = max(1, int(buffer_size))
+        self.flush_interval_s = float(flush_interval_s)
+        self._buffer: list = []
+        self._last_flush = time.monotonic()
 
     @classmethod
     def for_sweep(
@@ -130,8 +151,31 @@ class Journal:
         return cls(base / f"{sweep.name}-{sweep.sweep_hash[:10]}-v{version}.jsonl")
 
     # ------------------------------------------------------------------ writing
+    def _append(self, record: Dict[str, Any]) -> None:
+        self._buffer.append(record)
+        if (
+            len(self._buffer) >= self.buffer_size
+            or time.monotonic() - self._last_flush >= self.flush_interval_s
+        ):
+            self.flush()
+
+    def flush(self) -> None:
+        """Write every buffered record now (one append, fsync-safe order)."""
+        if self._buffer:
+            buffered, self._buffer = self._buffer, []
+            append_jsonl_many(self.path, buffered)
+        self._last_flush = time.monotonic()
+
+    @property
+    def pending_writes(self) -> int:
+        return len(self._buffer)
+
     def record_header(self, sweep: SweepSpec) -> None:
-        """Write the sweep header if this journal file is new."""
+        """Write the sweep header if this journal file is new.
+
+        Headers flush immediately: the file's existence is the "a run touched
+        this sweep" signal the status tools and this method itself rely on.
+        """
         if self.path.exists():
             return
         append_jsonl(
@@ -163,7 +207,7 @@ class Journal:
             record["duration_s"] = float(duration_s)
         if source is not None:
             record["source"] = source
-        append_jsonl(self.path, record)
+        self._append(record)
 
     def record_error(
         self, spec: JobSpec, error: str, duration_s: Optional[float] = None
@@ -177,7 +221,7 @@ class Journal:
         }
         if duration_s is not None:
             record["duration_s"] = float(duration_s)
-        append_jsonl(self.path, record)
+        self._append(record)
 
     # ------------------------------------------------------------------ reading
     def load(self) -> JournalState:
@@ -186,6 +230,7 @@ class Journal:
         A later success clears an earlier error for the same job and vice
         versa, so the snapshot reflects each job's *latest* outcome.
         """
+        self.flush()
         state = JournalState()
         for record in iter_jsonl(self.path):
             kind = record.get("type")

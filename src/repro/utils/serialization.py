@@ -12,7 +12,7 @@ import dataclasses
 import hashlib
 import json
 from pathlib import Path
-from typing import Any, Iterator, Union
+from typing import Any, Iterator, Sequence, Union
 
 import numpy as np
 
@@ -83,6 +83,30 @@ def append_jsonl(path: PathLike, record: Any) -> Path:
                 handle.write(b"\n")
         line = json.dumps(to_jsonable(record), sort_keys=False) + "\n"
         handle.write(line.encode("utf-8"))
+    return target
+
+
+def append_jsonl_many(path: PathLike, records: Sequence[Any]) -> Path:
+    """Append many records to a JSON-lines file in one open/write.
+
+    Identical on-disk format to calling :func:`append_jsonl` per record —
+    including the torn-line repair — but one file-handle round-trip for the
+    whole batch, which is what makes journal write batching worthwhile.
+    """
+    target = Path(path)
+    if not records:
+        return target
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a+b") as handle:
+        handle.seek(0, 2)
+        if handle.tell() > 0:
+            handle.seek(-1, 2)
+            if handle.read(1) != b"\n":
+                handle.write(b"\n")
+        payload = "".join(
+            json.dumps(to_jsonable(record), sort_keys=False) + "\n" for record in records
+        )
+        handle.write(payload.encode("utf-8"))
     return target
 
 

@@ -1,0 +1,167 @@
+"""Process-local warm caches keyed by content identity.
+
+A *warm cache* memoizes an expensive, deterministic build — a compiled world,
+a quantized policy state, a loaded compute backend — for the lifetime of the
+process that ran it.  On the persistent worker pool
+(:class:`repro.runtime.pool.WarmPoolExecutor`) these caches are exactly what
+makes the pool "warm": workers survive across :meth:`SweepRunner.run` calls,
+so the second sweep that touches the same world finds it already compiled.
+
+The module is deliberately a leaf: it imports nothing from ``repro`` at
+module scope, so low layers (``repro.worlds``, ``repro.faults``) can use it
+without creating an import cycle through the runtime package.  Observability
+is attached lazily — every hit/miss also increments a ``warm.<name>.hit`` /
+``warm.<name>.miss`` counter on the active metrics registry, which rides the
+per-job observation delta back to the sweep engine like any other counter.
+
+Caches are bounded LRU maps.  Entries must be treated as immutable by every
+consumer — a warm cache hands out the *same* object repeatedly, which is only
+sound because compiled worlds and quantized tensors are never mutated after
+construction (the invariant the per-process ``generate_world`` memoization
+has relied on since PR 3).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Optional
+
+#: Default per-cache entry bound; generous for worlds (a sweep touches tens
+#: of distinct worlds) while keeping a long-lived worker's footprint bounded.
+DEFAULT_CAPACITY = 128
+
+
+class WarmCache:
+    """One named, bounded, process-local LRU cache with hit/miss accounting."""
+
+    def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"warm cache capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def _count(self, outcome: str) -> None:
+        # Lazy import keeps this module a leaf; the no-op registry makes the
+        # disabled path a single attribute lookup + dict probe.
+        from repro.obs import get_metrics
+
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(f"warm.{self.name}.{outcome}").inc()
+
+    def get_or_build(self, key: Hashable, build: Callable[[], Any]) -> Any:
+        """The cached value for ``key``, building (and caching) it on miss.
+
+        ``build`` runs outside the lock — builds are expensive and
+        deterministic, so a rare duplicate build under contention is cheaper
+        than serialising every world generation behind one mutex.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                value = self._entries[key]
+                self._count("hit")
+                return value
+            self.misses += 1
+        self._count("miss")
+        value = build()
+        with self._lock:
+            if key not in self._entries:
+                self._entries[key] = value
+                if len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+            else:
+                value = self._entries[key]
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+        }
+
+
+_CACHES: Dict[str, WarmCache] = {}
+_CACHES_LOCK = threading.Lock()
+
+
+def warm_cache(name: str, capacity: int = DEFAULT_CAPACITY) -> WarmCache:
+    """The process-wide warm cache registered under ``name`` (created on first use)."""
+    cache = _CACHES.get(name)
+    if cache is None:
+        with _CACHES_LOCK:
+            cache = _CACHES.get(name)
+            if cache is None:
+                cache = WarmCache(name, capacity=capacity)
+                _CACHES[name] = cache
+    return cache
+
+
+def warm_cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size snapshot of every warm cache in this process.
+
+    Worker processes ship this snapshot back with every completed chunk, so
+    the parent-side pool can report fleet-wide warm-cache hit rates without
+    an extra control round-trip.
+    """
+    return {name: cache.stats() for name, cache in sorted(_CACHES.items())}
+
+
+def clear_warm_caches() -> None:
+    """Drop every cached entry (testing hook; counters are kept)."""
+    for cache in _CACHES.values():
+        cache.clear()
+
+
+def reset_warm_caches() -> None:
+    """Drop entries *and* zero the hit/miss/eviction counters.
+
+    Testing hook for accounting assertions: worker processes fork with the
+    parent's caches and counters, so a test that counts misses must zero the
+    parent first.
+    """
+    for cache in _CACHES.values():
+        cache.clear()
+        cache.hits = 0
+        cache.misses = 0
+        cache.evictions = 0
+
+
+def aggregate_stats(
+    per_worker: Dict[Any, Dict[str, Dict[str, int]]]
+) -> Dict[str, Dict[str, int]]:
+    """Sum per-worker :func:`warm_cache_stats` snapshots into one fleet view."""
+    totals: Dict[str, Dict[str, int]] = {}
+    for snapshot in per_worker.values():
+        for name, stats in snapshot.items():
+            into = totals.setdefault(
+                name, {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
+            )
+            for field in into:
+                into[field] += int(stats.get(field, 0))
+    return totals
+
+
+def hit_rate(stats: Optional[Dict[str, int]]) -> float:
+    """hits / (hits + misses), 0.0 when the cache was never probed."""
+    if not stats:
+        return 0.0
+    probes = int(stats.get("hits", 0)) + int(stats.get("misses", 0))
+    return (stats["hits"] / probes) if probes else 0.0

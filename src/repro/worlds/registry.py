@@ -17,13 +17,13 @@ ceremony.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
 from repro.envs.obstacles import ObstacleField
 from repro.errors import ConfigurationError, EnvironmentError_
+from repro.utils.warmcache import warm_cache
 from repro.worlds.dynamic import DynamicObstacleField
 from repro.worlds.spec import WorldSpec
 
@@ -196,11 +196,12 @@ def generate_world(spec: WorldSpec, max_attempts: int = 24) -> GeneratedWorld:
     immutable, and sweep jobs that share a world (one per platform/policy/
     BER cell) regenerate it for free.
     """
-    return _generate_world_cached(spec, max_attempts)
+    return warm_cache("worlds").get_or_build(
+        (spec, max_attempts), lambda: _generate_world_uncached(spec, max_attempts)
+    )
 
 
-@lru_cache(maxsize=128)
-def _generate_world_cached(spec: WorldSpec, max_attempts: int) -> GeneratedWorld:
+def _generate_world_uncached(spec: WorldSpec, max_attempts: int) -> GeneratedWorld:
     family = get_world_family(spec.family)
     params = family.resolve_params(spec)
     problems: List[str] = []

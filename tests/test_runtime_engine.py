@@ -54,9 +54,12 @@ class TestExecutors:
         assert serial == parallel
 
     def test_make_executor_selects_backend(self):
+        from repro.runtime.pool import WarmPoolExecutor
+
         assert isinstance(make_executor(None), SerialExecutor)
         assert isinstance(make_executor(1), SerialExecutor)
-        assert isinstance(make_executor(3), MultiprocessExecutor)
+        assert isinstance(make_executor(3), WarmPoolExecutor)
+        assert make_executor(3).workers == 3
 
     def test_multiprocess_rejects_live_overrides(self):
         executor = MultiprocessExecutor(workers=2)
@@ -281,3 +284,99 @@ class TestAssembly:
         table = assemble_fig5(sweep, SweepRunner().run(sweep).results)
         reference = generate_fig5_environments()
         assert table.to_jsonable() == reference.to_jsonable()
+
+
+class TestCacheIndex:
+    def test_index_lists_spec_hashes(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        assert cache.index() == set()
+        specs = [JobSpec(kind="test.double", params={"value": i}) for i in range(3)]
+        for spec in specs:
+            cache.put(spec, {"value": 2 * spec.params["value"]})
+        assert cache.index() == {spec.spec_hash for spec in specs}
+
+    def test_index_is_version_scoped(self, tmp_path):
+        spec = JobSpec(kind="test.double", params={"value": 1})
+        ResultCache(root=tmp_path, version="1.0").put(spec, {"value": 2})
+        assert ResultCache(root=tmp_path, version="2.0").index() == set()
+
+    def test_engine_index_probe_agrees_with_per_job_probe(self, tmp_path):
+        """The index fast path must resolve exactly the same hits as get()."""
+        log = tmp_path / "executions.log"
+        sweep = _double_sweep(6, log=log)
+        cache = ResultCache(root=tmp_path / "cache")
+        # Pre-populate half the sweep, then run: only the other half executes.
+        for job in list(sweep.jobs)[:3]:
+            cache.put(job, {"value": 2 * job.params["value"]})
+        report = SweepRunner(cache=cache).run(sweep)
+        assert (report.executed, report.cache_hits) == (3, 3)
+        assert len(_executions(log)) == 3
+
+
+class TestJournalBatching:
+    def _journal(self, tmp_path, name, **kwargs):
+        return Journal(tmp_path / f"{name}.jsonl", **kwargs)
+
+    def test_buffered_records_match_write_through(self, tmp_path):
+        """Batched flushes must leave the identical record stream on disk."""
+        sweep = _double_sweep(5, name="batch-bytes")
+        buffered = self._journal(tmp_path, "buffered", buffer_size=64, flush_interval_s=3600)
+        through = self._journal(tmp_path, "through", buffer_size=1)
+        for journal in (buffered, through):
+            journal.record_header(sweep)
+            for i, spec in enumerate(sweep.jobs):
+                journal.record_result(spec, {"value": 2 * i}, duration_s=0.25)
+            journal.record_error(sweep.jobs[0], "boom", duration_s=0.1)
+            journal.flush()
+        strip_ts = lambda path: [
+            {k: v for k, v in json.loads(line).items() if k != "ts"}
+            for line in path.read_text().splitlines()
+        ]
+        assert strip_ts(buffered.path) == strip_ts(through.path)
+
+    def test_header_bypasses_the_buffer(self, tmp_path):
+        sweep = _double_sweep(2, name="batch-header")
+        journal = self._journal(tmp_path, "header", buffer_size=64, flush_interval_s=3600)
+        journal.record_header(sweep)
+        journal.record_result(sweep.jobs[0], {"value": 0})
+        assert journal.pending_writes == 1
+        assert len(journal.path.read_text().splitlines()) == 1  # header only
+
+    def test_load_flushes_pending_records(self, tmp_path):
+        sweep = _double_sweep(2, name="batch-load")
+        journal = self._journal(tmp_path, "load", buffer_size=64, flush_interval_s=3600)
+        journal.record_header(sweep)
+        journal.record_result(sweep.jobs[0], {"value": 0})
+        state = journal.load()
+        assert journal.pending_writes == 0
+        assert state.completed == 1
+
+    def test_buffer_flushes_at_size_threshold(self, tmp_path):
+        sweep = _double_sweep(4, name="batch-size")
+        journal = self._journal(tmp_path, "size", buffer_size=3, flush_interval_s=3600)
+        for spec in list(sweep.jobs)[:2]:
+            journal.record_result(spec, {"value": 1})
+        assert journal.pending_writes == 2
+        journal.record_result(sweep.jobs[2], {"value": 1})
+        assert journal.pending_writes == 0
+        assert len(journal.path.read_text().splitlines()) == 3
+
+    def test_engine_leaves_no_pending_writes(self, tmp_path):
+        """The engine flushes in a finally: a finished run is fully on disk."""
+        sweep = _double_sweep(3, name="batch-engine")
+        SweepRunner(journal_dir=tmp_path).run(sweep)
+        journal = Journal.for_sweep(sweep, tmp_path)
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 4  # header + one result per job, nothing buffered
+
+    def test_resume_and_sharding_with_buffering(self, tmp_path):
+        """Satellite regression: buffered journals keep resume/shard semantics."""
+        log = tmp_path / "executions.log"
+        sweep = _double_sweep(6, log=log, name="batch-shard")
+        runner = SweepRunner(journal_dir=tmp_path)
+        partial = runner.run(sweep, shard=(0, 2))
+        assert partial.executed == 3
+        resumed = runner.run(sweep)
+        assert (resumed.resumed, resumed.executed) == (3, 3)
+        assert len(_executions(log)) == 6  # every job ran exactly once
+        assert Journal.for_sweep(sweep, tmp_path).status(sweep).complete

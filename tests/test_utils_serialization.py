@@ -50,3 +50,31 @@ class TestSaveLoad:
     def test_creates_parent_directories(self, tmp_path):
         path = save_json(tmp_path / "a" / "b" / "c.json", [1])
         assert Path(path).parent.is_dir()
+
+
+class TestAppendJsonl:
+    def test_many_matches_per_record_appends(self, tmp_path):
+        from repro.utils.serialization import append_jsonl, append_jsonl_many
+
+        records = [{"i": i, "tag": "x" * i} for i in range(5)]
+        one_by_one = tmp_path / "single.jsonl"
+        batched = tmp_path / "batched.jsonl"
+        for record in records:
+            append_jsonl(one_by_one, record)
+        append_jsonl_many(batched, records)
+        assert batched.read_bytes() == one_by_one.read_bytes()
+
+    def test_many_repairs_torn_line(self, tmp_path):
+        from repro.utils.serialization import append_jsonl_many, iter_jsonl
+
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"i": 0}\n{"i": 1, "partial')  # killed mid-record
+        append_jsonl_many(path, [{"i": 2}, {"i": 3}])
+        recovered = [r["i"] for r in iter_jsonl(path) if "i" in r]
+        assert recovered == [0, 2, 3]
+
+    def test_many_with_no_records_is_a_no_op(self, tmp_path):
+        from repro.utils.serialization import append_jsonl_many
+
+        path = append_jsonl_many(tmp_path / "empty.jsonl", [])
+        assert not path.exists()
